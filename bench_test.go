@@ -1,0 +1,355 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5) at a reduced trace length, plus ablations for the design choices
+// DESIGN.md calls out. The full-scale numbers come from ./run_experiments.sh
+// (see EXPERIMENTS.md); these benches exercise the identical code paths and
+// report the headline statistics via testing.B metrics.
+//
+//	go test -bench=. -benchmem
+package sharing
+
+import (
+	"fmt"
+	"testing"
+
+	"sharing/internal/area"
+	"sharing/internal/econ"
+	"sharing/internal/experiments"
+	"sharing/internal/sim"
+	"sharing/internal/workload"
+)
+
+// benchTraceLen keeps testing.B runs tractable; the official harness uses
+// experiments.DefaultTraceLen.
+const benchTraceLen = 60_000
+
+func newBenchRunner() *experiments.Runner {
+	r := experiments.NewRunner()
+	r.TraceLen = benchTraceLen
+	r.Seed = experiments.DefaultSeed
+	return r
+}
+
+// benchSuite memoizes a reduced-grid suite across benchmarks in one process.
+var benchSuiteCache econ.Suite
+
+func benchSuite(b *testing.B) econ.Suite {
+	b.Helper()
+	if benchSuiteCache != nil {
+		return benchSuiteCache
+	}
+	r := newBenchRunner()
+	s, err := r.SuiteGrids(nil, []int{1, 2, 3, 4, 6, 8}, []int{0, 64, 128, 256, 512, 1024, 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSuiteCache = s
+	return s
+}
+
+// BenchmarkFig10AreaBreakdown regenerates the Slice area decomposition.
+func BenchmarkFig10AreaBreakdown(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		parts := area.SliceBreakdown()
+		overhead = area.SharingOverheadFraction()
+		if len(parts) == 0 {
+			b.Fatal("empty breakdown")
+		}
+	}
+	b.ReportMetric(100*overhead, "sharing-overhead-%")
+}
+
+// BenchmarkFig11AreaBreakdown regenerates the with-L2 decomposition.
+func BenchmarkFig11AreaBreakdown(b *testing.B) {
+	var l2 float64
+	for i := 0; i < b.N; i++ {
+		parts := area.SliceBreakdownWithL2()
+		l2 = parts[0].Fraction
+	}
+	b.ReportMetric(100*l2, "l2-share-%")
+}
+
+// BenchmarkFig12Scalability measures VCore speedup with Slice count for a
+// representative scaling benchmark (gobmk) and reports the 8-Slice speedup.
+func BenchmarkFig12Scalability(b *testing.B) {
+	r := newBenchRunner()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.Fig12(r, []string{"gobmk"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = data[0].Speedup[len(data[0].Speedup)-1]
+	}
+	b.ReportMetric(speedup, "gobmk-8slice-x")
+}
+
+// BenchmarkFig13CacheSensitivity measures the cache curve for the paper's
+// most sensitive benchmark (omnetpp) and an insensitive one (libquantum).
+func BenchmarkFig13CacheSensitivity(b *testing.B) {
+	r := newBenchRunner()
+	r.TraceLen = 200_000 // scan tiers need laps
+	var omPeak, lqEnd float64
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.Fig13(r, []string{"omnetpp", "libquantum"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range data {
+			switch d.Bench {
+			case "omnetpp":
+				omPeak = 0
+				for _, v := range d.Speedup {
+					if v > omPeak {
+						omPeak = v
+					}
+				}
+			case "libquantum":
+				lqEnd = d.Speedup[len(d.Speedup)-1]
+			}
+		}
+	}
+	b.ReportMetric(omPeak, "omnetpp-peak-x")
+	b.ReportMetric(lqEnd, "libquantum-8MB-x")
+}
+
+// BenchmarkTable4Optima finds perf^k/area-optimal configurations per
+// benchmark and reports how many distinct optima the suite produces (the
+// paper's point: they are highly non-uniform).
+func BenchmarkTable4Optima(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var distinct int
+	for i := 0; i < b.N; i++ {
+		seen := map[econ.Config]bool{}
+		for _, g := range s {
+			for k := 1; k <= 3; k++ {
+				cfg, _ := econ.BestByMetric(k, g)
+				seen[cfg] = true
+			}
+		}
+		distinct = len(seen)
+	}
+	b.ReportMetric(float64(distinct), "distinct-optima")
+}
+
+// BenchmarkTable6Markets recomputes utility optima across the three markets.
+func BenchmarkTable6Markets(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var moved int
+	for i := 0; i < b.N; i++ {
+		moved = 0
+		for _, g := range s {
+			for _, u := range econ.Utilities() {
+				base, _ := u.Best(econ.Market2(), g)
+				for _, m := range []econ.Market{econ.Market1(), econ.Market3()} {
+					cfg, _ := u.Best(m, g)
+					if cfg != base {
+						moved++
+					}
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(moved), "optima-moved-by-prices")
+}
+
+// BenchmarkFig15FixedGain computes the market-efficiency gain distribution
+// versus the best static fixed architecture and reports the headline max
+// (the paper: up to ~5x).
+func BenchmarkFig15FixedGain(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var st econ.GainStats
+	for i := 0; i < b.N; i++ {
+		gains, _, err := econ.FixedArchGains(s, econ.Utilities(), econ.Market2())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = econ.Summarize(gains)
+	}
+	b.ReportMetric(st.Max, "max-gain-x")
+	b.ReportMetric(st.Mean, "mean-gain-x")
+	b.ReportMetric(float64(st.Points), "pairs")
+}
+
+// BenchmarkFig16HeteroGain is Fig. 15 against a heterogeneous baseline
+// (the paper: over 3x).
+func BenchmarkFig16HeteroGain(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var st econ.GainStats
+	for i := 0; i < b.N; i++ {
+		gains, _, err := econ.HeteroGains(s, econ.Utilities(), econ.Market2())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = econ.Summarize(gains)
+	}
+	b.ReportMetric(st.Max, "max-gain-x")
+	b.ReportMetric(st.Mean, "mean-gain-x")
+}
+
+// BenchmarkFig17Heterogeneity sweeps the datacenter big/small-core mix and
+// reports how far the optimal big-core share moves across application mixes.
+func BenchmarkFig17Heterogeneity(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		points, err := econ.DatacenterMix(s["hmmer"], s["gobmk"], econ.BigCore(), econ.SmallCore(), 2,
+			[]float64{0, 0.25, 0.5, 0.75, 1}, []float64{0, 0.5, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := econ.OptimalBigFrac(points)
+		min, max := 1.0, 0.0
+		for _, f := range opt {
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+		}
+		spread = max - min
+	}
+	b.ReportMetric(spread, "optimal-bigfrac-spread")
+}
+
+// BenchmarkTable7Phases runs the gcc dynamic-phase analysis and reports the
+// perf^3/area dynamic-vs-static gain (the paper: 19.4%).
+func BenchmarkTable7Phases(b *testing.B) {
+	r := newBenchRunner()
+	r.TraceLen = 40_000
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Table7(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = tables[2].Schedule.Gain
+	}
+	b.ReportMetric(100*gain, "perf3-dyn-gain-%")
+}
+
+// BenchmarkAblationSecondOperandNetwork measures the benefit of doubling
+// Scalar Operand Network bandwidth (the paper's §5.1 sensitivity study
+// found only ~1%, justifying a single network).
+func BenchmarkAblationSecondOperandNetwork(b *testing.B) {
+	r := newBenchRunner()
+	var gme float64
+	for i := 0; i < b.N; i++ {
+		_, g, err := experiments.AblationSecondOperandNetwork(r, []string{"gobmk", "gcc", "h264ref"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gme = g
+	}
+	b.ReportMetric(100*(gme-1), "speedup-%")
+}
+
+// BenchmarkAblationDistributedLSQ measures the cost of shrinking the
+// per-Slice LSQ banks (a DESIGN.md sizing choice; the banked design's
+// aggregate capacity scales with Slice count).
+func BenchmarkAblationDistributedLSQ(b *testing.B) {
+	prof, err := workload.Lookup("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mt, err := prof.Generate(benchTraceLen, experiments.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		big := sim.DefaultParams(4, 512)
+		small := sim.DefaultParams(4, 512)
+		small.VCore.LSQSize = 8
+		rb, err := sim.Run(big, mt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := sim.Run(small, mt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(rs.Cycles) / float64(rb.Cycles)
+	}
+	b.ReportMetric(ratio, "slowdown-8entry-lsq-x")
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof, err := workload.Lookup("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mt, err := prof.Generate(benchTraceLen, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.DefaultParams(4, 512), mt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(benchTraceLen*b.N)/b.Elapsed().Seconds(), "insts/s")
+	_ = cycles
+}
+
+// BenchmarkTraceGeneration reports workload-synthesis speed.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTrace("gcc", benchTraceLen, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchTraceLen*b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+func ExampleSimulate() {
+	mt, _ := GenerateTrace("libquantum", 20000, 1)
+	res, _ := Simulate(SimConfig{Slices: 2, CacheKB: 128}, mt)
+	fmt.Println(res.Instructions)
+	// Output: 20000
+}
+
+// BenchmarkAblationGShare compares the paper's baseline bimodal predictor
+// against the sketched cross-Slice gshare extension (§3.1) on a
+// branch-heavy, hard-to-predict benchmark.
+func BenchmarkAblationGShare(b *testing.B) {
+	prof, err := workload.Lookup("sjeng")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mt, err := prof.Generate(benchTraceLen, experiments.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var speedup, misBase, misG float64
+	for i := 0; i < b.N; i++ {
+		base := sim.DefaultParams(4, 512)
+		gsh := sim.DefaultParams(4, 512)
+		gsh.VCore.UseGShare = true
+		rb, err := sim.Run(base, mt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rg, err := sim.Run(gsh, mt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = float64(rb.Cycles) / float64(rg.Cycles)
+		misBase = rb.VCores[0].MispredictRate()
+		misG = rg.VCores[0].MispredictRate()
+	}
+	b.ReportMetric(speedup, "gshare-speedup-x")
+	b.ReportMetric(100*misBase, "bimodal-mispredict-%")
+	b.ReportMetric(100*misG, "gshare-mispredict-%")
+}

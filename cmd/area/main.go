@@ -1,0 +1,52 @@
+// Command area prints the Sharing Architecture area model: the Slice area
+// decomposition without L2 (Fig. 10), with one 64 KB bank (Fig. 11), the
+// replicated-vs-partitioned structure classification (Table 1), and silicon
+// estimates at 45 nm.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"sharing/internal/area"
+)
+
+func main() {
+	structures := flag.Bool("structures", false, "print Table 1 (replicated vs partitioned structures)")
+	flag.Parse()
+
+	if *structures {
+		fmt.Println("Table 1 - replicated vs partitioned structures")
+		for _, s := range area.Table1() {
+			kind := "partitioned"
+			if s.Replicated {
+				kind = "replicated"
+			}
+			fmt.Printf("  %-24s %s\n", s.Name, kind)
+		}
+		return
+	}
+
+	fmt.Println("Fig. 10 - Slice area decomposition (no L2)")
+	var sharing float64
+	for _, c := range area.SliceBreakdown() {
+		tag := ""
+		if c.Sharing {
+			tag = "  [sharing overhead]"
+			sharing += c.Fraction
+		}
+		fmt.Printf("  %-24s %5.1f%%%s\n", c.Name, 100*c.Fraction, tag)
+	}
+	fmt.Printf("  total sharing overhead: %.1f%% (paper: ~8%%)\n\n", 100*sharing)
+
+	fmt.Println("Fig. 11 - area decomposition including one 64KB L2 bank")
+	for _, c := range area.SliceBreakdownWithL2() {
+		fmt.Printf("  %-24s %5.1f%%\n", c.Name, 100*c.Fraction)
+	}
+	fmt.Println()
+
+	fmt.Printf("Slice area estimate @45nm: %.3f mm^2\n", area.SliceAreaMM2())
+	fmt.Printf("64KB bank area estimate:   %.3f mm^2\n", area.BankAreaMM2())
+	fmt.Printf("example VCore (4 Slices + 1MB L2): %.2f mm^2 (%.1f Slice-units)\n",
+		area.VCoreAreaMM2(4, 1024), area.VCoreUnits(4, 1024))
+}

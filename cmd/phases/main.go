@@ -1,0 +1,112 @@
+// Command phases regenerates Table 7: gcc split into ten phases, each
+// simulated independently across the configuration grid; per-phase optimal
+// VCore configurations per perf^k/area metric, and the dynamic-vs-static
+// gain including the hypervisor's reconfiguration costs (10,000 cycles for
+// an L2 change, 500 for a Slice-only change).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sharing/internal/autotuner"
+	"sharing/internal/econ"
+	"sharing/internal/experiments"
+	"sharing/internal/hypervisor"
+	"sharing/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", experiments.DefaultTraceLen, "instructions per phase")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+		results  = flag.String("results", "", "JSON results cache (reused across runs)")
+		quiet    = flag.Bool("q", false, "suppress per-run progress")
+		autotune = flag.Bool("autotune", false, "also run the §4 heartbeat auto-tuner and compare with the oracle")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	r.TraceLen, r.Seed, r.ResultsPath = *n, *seed, *results
+	if !*quiet {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if err := r.Load(); err != nil {
+		fatal(err)
+	}
+	tables, err := experiments.Table7(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Table 7 - optimal VCore configurations for the 10 gcc phases")
+	for _, t := range tables {
+		s := t.Schedule
+		fmt.Printf("\nperf^%d/area:\n  phase:    ", t.K)
+		for i := range s.PerPhase {
+			fmt.Printf("%8d", i+1)
+		}
+		fmt.Printf("\n  L2 (KB):  ")
+		for _, c := range s.PerPhase {
+			fmt.Printf("%8d", c.CacheKB)
+		}
+		fmt.Printf("\n  Slices:   ")
+		for _, c := range s.PerPhase {
+			fmt.Printf("%8d", c.Slices)
+		}
+		fmt.Printf("\n  static best: %v\n", s.StaticBest)
+		fmt.Printf("  dyn/static gain (with reconfig costs): %.1f%%\n", 100*s.Gain)
+	}
+	if *autotune {
+		if err := runAutotune(r); err != nil {
+			fatal(err)
+		}
+	}
+	if err := r.Save(); err != nil {
+		fatal(err)
+	}
+}
+
+// runAutotune rebuilds the per-phase measurements and compares the online
+// heartbeat auto-tuner against the oracle dynamic schedule and the best
+// static configuration.
+func runAutotune(r *experiments.Runner) error {
+	prof, err := workload.Lookup("gcc")
+	if err != nil {
+		return err
+	}
+	phases := make([]econ.PhaseData, prof.NumPhases())
+	for pi := range phases {
+		g, err := r.GridPhase("gcc", pi, experiments.StdSlices, experiments.StdCaches)
+		if err != nil {
+			return err
+		}
+		pd := econ.PhaseData{Insts: uint64(r.EffectiveTraceLen()), Cycles: make(map[econ.Config]int64, len(g))}
+		for cfg, ipc := range g {
+			pd.Cycles[cfg] = int64(float64(r.EffectiveTraceLen()) / ipc)
+		}
+		phases[pi] = pd
+	}
+	reconf := func(a, b econ.Config) int64 {
+		return hypervisor.ReconfigCost(a.CacheKB, b.CacheKB, a.Slices, b.Slices)
+	}
+	fmt.Println("\nHeartbeat auto-tuner (§4) vs oracle, perf^k/area:")
+	for k := 1; k <= 3; k++ {
+		oracle, err := econ.PhaseAnalysis(phases, k, reconf)
+		if err != nil {
+			return err
+		}
+		sched, err := autotuner.Tune(phases, k, 0.05, econ.Config{Slices: 2, CacheKB: 128}, reconf)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  k=%d: tuner GME %.4g (%d moves, %d probes) vs oracle %.4g, static %.4g\n",
+			k, sched.GME, sched.Moves, sched.Probes, oracle.DynGME, oracle.StaticGME)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phases:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command sweep regenerates the performance-scaling figures of the paper:
+// Fig. 12 (VCore performance vs Slice count, normalized to one Slice with
+// 128 KB of L2) and Fig. 13 (performance vs L2 size at two Slices,
+// normalized to no L2).
+//
+// Usage:
+//
+//	sweep -exp fig12 -results results/perf.json
+//	sweep -exp fig13 -bench omnetpp,mcf -n 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sharing/internal/experiments"
+	"sharing/internal/plot"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "fig12", "experiment: fig12 or fig13")
+		benches = flag.String("bench", "", "comma-separated benchmarks (default: all)")
+		n       = flag.Int("n", experiments.DefaultTraceLen, "instructions per thread")
+		seed    = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+		results = flag.String("results", "", "JSON results cache (reused across runs)")
+		quiet   = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	r.TraceLen, r.Seed, r.ResultsPath = *n, *seed, *results
+	if !*quiet {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if err := r.Load(); err != nil {
+		fatal(err)
+	}
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	switch *exp {
+	case "fig12":
+		data, err := experiments.Fig12(r, names)
+		if err != nil {
+			fatal(err)
+		}
+		header := []string{"benchmark"}
+		for _, s := range experiments.StdSlices {
+			header = append(header, fmt.Sprintf("s=%d", s))
+		}
+		var rows [][]string
+		for _, d := range data {
+			row := []string{d.Bench}
+			for _, v := range d.Speedup {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			}
+			rows = append(rows, row)
+		}
+		fmt.Print(experiments.RenderSeries(
+			"Fig. 12 - VCore performance vs Slice count (128KB L2, normalized to 1 Slice)",
+			header, rows))
+		var ss []plot.Series
+		var ticks []string
+		for _, s := range experiments.StdSlices {
+			ticks = append(ticks, fmt.Sprintf("%d", s))
+		}
+		for _, d := range data {
+			ss = append(ss, plot.Series{Name: d.Bench, Points: d.Speedup})
+		}
+		fmt.Println()
+		fmt.Print(plot.Lines(plot.Chart{XTicks: ticks, XLabel: "Slices", YLabel: "speedup", Width: 72, Height: 18}, ss))
+	case "fig13":
+		data, err := experiments.Fig13(r, names)
+		if err != nil {
+			fatal(err)
+		}
+		header := []string{"benchmark"}
+		for _, c := range experiments.StdCaches {
+			header = append(header, fmt.Sprintf("%dKB", c))
+		}
+		var rows [][]string
+		for _, d := range data {
+			row := []string{d.Bench}
+			for _, v := range d.Speedup {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			}
+			rows = append(rows, row)
+		}
+		fmt.Print(experiments.RenderSeries(
+			"Fig. 13 - performance vs L2 size (2 Slices, normalized to 0KB)",
+			header, rows))
+		var ss []plot.Series
+		var ticks []string
+		for _, c := range experiments.StdCaches {
+			ticks = append(ticks, fmt.Sprintf("%d", c))
+		}
+		for _, d := range data {
+			ss = append(ss, plot.Series{Name: d.Bench, Points: d.Speedup})
+		}
+		fmt.Println()
+		fmt.Print(plot.Lines(plot.Chart{XTicks: ticks, XLabel: "L2 KB", YLabel: "speedup", Width: 72, Height: 18}, ss))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q (want fig12 or fig13)", *exp))
+	}
+	if err := r.Save(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Quickstart: generate a workload trace, simulate it on two different
+// Virtual Core shapes, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharing"
+)
+
+func main() {
+	// A deterministic synthetic gcc-like trace (the stand-in for the
+	// paper's GEM5 traces), 100k instructions.
+	mt, err := sharing.GenerateTrace("gcc", 100000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small VCore: one Slice, 64 KB of L2.
+	small, err := sharing.Simulate(sharing.SimConfig{Slices: 1, CacheKB: 64}, mt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A big VCore composed from the same fabric: 4 Slices, 1 MB of L2.
+	big, err := sharing.Simulate(sharing.SimConfig{Slices: 4, CacheKB: 1024}, mt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("gcc, 100k instructions:")
+	fmt.Printf("  1 Slice  +  64KB: %7d cycles  (IPC %.3f)\n", small.Cycles, small.IPC())
+	fmt.Printf("  4 Slices +   1MB: %7d cycles  (IPC %.3f)\n", big.Cycles, big.IPC())
+	fmt.Printf("  speedup: %.2fx  -- but %.1fx the area\n",
+		float64(small.Cycles)/float64(big.Cycles),
+		sharing.Market2().Cost(sharing.VCoreConfig{Slices: 4, CacheKB: 1024})/
+			sharing.Market2().Cost(sharing.VCoreConfig{Slices: 1, CacheKB: 64}))
+	fmt.Println()
+	fmt.Println("Whether the big VCore is worth it depends on the customer's utility")
+	fmt.Println("function -- see examples/oldi and examples/webserver.")
+}

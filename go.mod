@@ -1,0 +1,3 @@
+module sharing
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package area is the Sharing Architecture's area model. The paper derives
+// it from a synthesizable Verilog implementation taken through Design
+// Compiler and IC Compiler at TSMC 45 nm, with SRAM macros sized by CACTI
+// (§5.1). We cannot rerun that flow, so this package encodes its published
+// outputs: the per-component Slice area breakdown of Fig. 10, the breakdown
+// including one 64 KB L2 bank of Fig. 11, and the Slice:bank area identity
+// that defines Market2 (one Slice costs the same area as 128 KB of L2, i.e.
+// two banks). A CACTI-style SRAM area estimator supports sizing sweeps.
+package area
+
+import "fmt"
+
+// Component is one piece of the Slice area budget.
+type Component struct {
+	// Name identifies the structure.
+	Name string
+	// Fraction is the share of total Slice area (without L2), per Fig. 10.
+	Fraction float64
+	// Sharing marks structures that exist only to make Slices composable
+	// into VCores (the paper's "sharing overhead").
+	Sharing bool
+}
+
+// sliceComponents is the Fig. 10 breakdown. Fractions follow the published
+// percentages (they sum to ~0.98 in the paper due to rounding; the residual
+// is folded into "added pipeline", the paper's smallest sharing component).
+var sliceComponents = []Component{
+	{Name: "16KB 2-way L1 I-cache", Fraction: 0.24},
+	{Name: "16KB 2-way L1 D-cache", Fraction: 0.24},
+	{Name: "instruction buffer", Fraction: 0.11},
+	{Name: "LSQ", Fraction: 0.08},
+	{Name: "register file", Fraction: 0.06},
+	{Name: "ROB", Fraction: 0.06},
+	{Name: "BTB & predictor", Fraction: 0.04},
+	{Name: "issue window", Fraction: 0.04},
+	{Name: "multiplier", Fraction: 0.02},
+	{Name: "ALUs", Fraction: 0.01},
+	{Name: "other (wiring, control)", Fraction: 0.015},
+	{Name: "local rename", Fraction: 0.02, Sharing: true},
+	{Name: "routers", Fraction: 0.02, Sharing: true},
+	{Name: "scoreboard", Fraction: 0.02, Sharing: true},
+	{Name: "global rename", Fraction: 0.01, Sharing: true},
+	{Name: "waitlist", Fraction: 0.01, Sharing: true},
+	{Name: "added pipeline", Fraction: 0.005, Sharing: true},
+}
+
+// SliceBreakdown returns the Fig. 10 Slice area decomposition (no L2).
+// Fractions sum to 1.
+func SliceBreakdown() []Component {
+	out := make([]Component, len(sliceComponents))
+	copy(out, sliceComponents)
+	return out
+}
+
+// SharingOverheadFraction returns the fraction of Slice area spent on
+// composability (§5.1 reports ~8%).
+func SharingOverheadFraction() float64 {
+	var f float64
+	for _, c := range sliceComponents {
+		if c.Sharing {
+			f += c.Fraction
+		}
+	}
+	return f
+}
+
+// Area accounting uses abstract "units" where one Slice (including its share
+// of interconnect, excluding L2) is 1.0 and one 64 KB L2 bank is 0.5 — the
+// paper's Market2 identity that one Slice costs the same as 128 KB of cache.
+const (
+	SliceUnits = 1.0
+	BankUnits  = 0.5
+	// BankKB is the bank granularity.
+	BankKB = 64
+)
+
+// SliceBreakdownWithL2 returns the decomposition of a Slice plus one 64 KB
+// L2 bank (Fig. 11). With the bank at 0.5 Slice-units the L2 is one third of
+// the total; the paper reports 35%, the difference being synthesis rounding.
+func SliceBreakdownWithL2() []Component {
+	total := SliceUnits + BankUnits
+	out := make([]Component, 0, len(sliceComponents)+1)
+	out = append(out, Component{Name: "64KB 4-way L2 bank", Fraction: BankUnits / total})
+	for _, c := range sliceComponents {
+		c.Fraction = c.Fraction * SliceUnits / total
+		out = append(out, c)
+	}
+	return out
+}
+
+// VCoreUnits returns the area, in Slice-units, of a VCore configuration
+// with the given Slice count and total L2 allocation.
+func VCoreUnits(slices int, cacheKB int) float64 {
+	if slices < 0 || cacheKB < 0 {
+		panic(fmt.Sprintf("area: negative configuration (%d slices, %d KB)", slices, cacheKB))
+	}
+	return float64(slices)*SliceUnits + float64(cacheKB)/BankKB*BankUnits
+}
+
+// --- CACTI-style SRAM estimator -------------------------------------------
+
+// sram45CellUM2 is a 6T SRAM bit cell at TSMC 45 nm (um^2), per foundry
+// publications; arrayEfficiency covers decoders, sense amps and wiring.
+const (
+	sram45CellUM2   = 0.346
+	arrayEfficiency = 0.5
+)
+
+// SRAMAreaMM2 estimates macro area for an SRAM of the given capacity,
+// associativity and port count, in the spirit of CACTI 6.0 at 45 nm: cell
+// array over efficiency, with ~10% overhead per extra way (comparators,
+// muxes) and ~35% per extra port (wordlines/bitlines).
+func SRAMAreaMM2(bytes int, ways int, ports int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if ports < 1 {
+		ports = 1
+	}
+	bits := float64(bytes) * 8
+	mm2 := bits * sram45CellUM2 / arrayEfficiency * 1e-6
+	mm2 *= 1 + 0.10*float64(ways-1)
+	mm2 *= 1 + 0.35*float64(ports-1)
+	return mm2
+}
+
+// SliceAreaMM2 anchors the abstract units in silicon: the Slice's two 16 KB
+// L1s are 48% of its area (Fig. 10), and each L1 is a 2-way single-port
+// SRAM, so the whole Slice is the L1 estimate scaled by 1/0.48.
+func SliceAreaMM2() float64 {
+	l1 := SRAMAreaMM2(16<<10, 2, 1)
+	return 2 * l1 / 0.48
+}
+
+// BankAreaMM2 returns the 64 KB bank area consistent with the unit model.
+func BankAreaMM2() float64 { return SliceAreaMM2() * BankUnits / SliceUnits }
+
+// VCoreAreaMM2 returns a VCore's silicon estimate at 45 nm.
+func VCoreAreaMM2(slices, cacheKB int) float64 {
+	return VCoreUnits(slices, cacheKB) * SliceAreaMM2()
+}
+
+// Structure summarizes Table 1 of the paper: which per-core structures are
+// replicated per Slice and which are partitioned across Slices.
+type Structure struct {
+	Name        string
+	Replicated  bool // sized for the maximum VCore in every Slice
+	Partitioned bool // capacity scales with the number of Slices
+}
+
+// Table1 returns the replicated/partitioned classification (Table 1).
+func Table1() []Structure {
+	return []Structure{
+		{Name: "branch predictor", Partitioned: true},
+		{Name: "BTB", Replicated: true},
+		{Name: "scoreboard", Replicated: true},
+		{Name: "issue window", Partitioned: true},
+		{Name: "load queue", Partitioned: true},
+		{Name: "store queue", Partitioned: true},
+		{Name: "ROB", Partitioned: true},
+		{Name: "local RAT", Partitioned: true},
+		{Name: "global RAT", Replicated: true},
+		{Name: "physical register file", Partitioned: true},
+	}
+}

@@ -1,0 +1,139 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSliceBreakdownSumsToOne(t *testing.T) {
+	var sum float64
+	for _, c := range SliceBreakdown() {
+		if c.Fraction <= 0 {
+			t.Errorf("%s: non-positive fraction", c.Name)
+		}
+		sum += c.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %f", sum)
+	}
+}
+
+func TestSharingOverheadNearPaper(t *testing.T) {
+	// §5.1: the composability overhead is ~8% of Slice area.
+	f := SharingOverheadFraction()
+	if f < 0.07 || f < 0.0 || f > 0.10 {
+		t.Fatalf("sharing overhead %.3f outside [0.07, 0.10]", f)
+	}
+}
+
+func TestPaperComponentValues(t *testing.T) {
+	// Spot-check the published Fig. 10 percentages.
+	want := map[string]float64{
+		"16KB 2-way L1 I-cache": 0.24,
+		"16KB 2-way L1 D-cache": 0.24,
+		"instruction buffer":    0.11,
+		"LSQ":                   0.08,
+		"register file":         0.06,
+		"ROB":                   0.06,
+		"BTB & predictor":       0.04,
+		"issue window":          0.04,
+	}
+	got := map[string]float64{}
+	for _, c := range SliceBreakdown() {
+		got[c.Name] = c.Fraction
+	}
+	for name, frac := range want {
+		if math.Abs(got[name]-frac) > 1e-9 {
+			t.Errorf("%s = %.3f, want %.3f (Fig. 10)", name, got[name], frac)
+		}
+	}
+}
+
+func TestBreakdownWithL2(t *testing.T) {
+	parts := SliceBreakdownWithL2()
+	var sum float64
+	for _, c := range parts {
+		sum += c.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("with-L2 fractions sum to %f", sum)
+	}
+	// The L2 bank is one third under the exact Market2 identity (paper
+	// reports 35% from synthesis rounding).
+	if l2 := parts[0]; l2.Name != "64KB 4-way L2 bank" || math.Abs(l2.Fraction-1.0/3) > 1e-9 {
+		t.Fatalf("L2 share = %+v", l2)
+	}
+}
+
+func TestVCoreUnits(t *testing.T) {
+	// The Market2 identity: one Slice equals 128 KB of cache in area.
+	if VCoreUnits(1, 0) != VCoreUnits(0, 128) {
+		t.Fatal("slice/cache area identity broken")
+	}
+	if got := VCoreUnits(4, 1024); got != 4+16*0.5 {
+		t.Fatalf("VCoreUnits(4, 1MB) = %f", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative config accepted")
+		}
+	}()
+	VCoreUnits(-1, 0)
+}
+
+func TestSRAMEstimator(t *testing.T) {
+	if SRAMAreaMM2(0, 1, 1) != 0 {
+		t.Fatal("zero bytes should be zero area")
+	}
+	small := SRAMAreaMM2(16<<10, 2, 1)
+	big := SRAMAreaMM2(64<<10, 2, 1)
+	if big <= small {
+		t.Fatal("area must grow with capacity")
+	}
+	if math.Abs(big/small-4) > 0.2 {
+		t.Fatalf("area should scale ~linearly with bytes: ratio %f", big/small)
+	}
+	if SRAMAreaMM2(16<<10, 4, 1) <= small {
+		t.Fatal("more ways must cost area")
+	}
+	if SRAMAreaMM2(16<<10, 2, 2) <= small {
+		t.Fatal("more ports must cost area")
+	}
+	// Degenerate arguments are clamped, not errors.
+	if SRAMAreaMM2(1024, 0, 0) <= 0 {
+		t.Fatal("clamped ways/ports broke the estimate")
+	}
+}
+
+func TestSiliconAnchors(t *testing.T) {
+	slice := SliceAreaMM2()
+	// A 45nm Slice of this design should land well under a mm^2 but above
+	// a trivial size; CACTI-scale sanity only.
+	if slice < 0.1 || slice > 2.0 {
+		t.Fatalf("Slice area %.3f mm^2 implausible at 45nm", slice)
+	}
+	if math.Abs(BankAreaMM2()-slice/2) > 1e-9 {
+		t.Fatal("bank must be half a Slice (Market2 identity)")
+	}
+	if got := VCoreAreaMM2(2, 128); math.Abs(got-3*slice) > 1e-9 {
+		t.Fatalf("VCoreAreaMM2(2,128KB) = %f, want %f", got, 3*slice)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 10 {
+		t.Fatalf("Table 1 has %d structures, want 10", len(rows))
+	}
+	// Per the paper: BTB, scoreboard and global RAT are replicated; the
+	// predictor, windows, queues, ROB, local RAT and physical RF partition.
+	wantReplicated := map[string]bool{"BTB": true, "scoreboard": true, "global RAT": true}
+	for _, s := range rows {
+		if s.Replicated == s.Partitioned {
+			t.Errorf("%s: must be exactly one of replicated/partitioned", s.Name)
+		}
+		if s.Replicated != wantReplicated[s.Name] {
+			t.Errorf("%s: replicated=%v disagrees with Table 1", s.Name, s.Replicated)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"fmt"
+
+	"sharing/internal/noc"
+)
+
+// Bank is one 64 KB L2 cache bank tile on the fabric. Any bank can serve any
+// VCore (§3.5); the hypervisor assigns banks to VMs, and within a VM
+// addresses are low-order interleaved by cache line across the VM's banks.
+//
+// The bank also hosts the directory slice for the lines it homes: for every
+// resident line it tracks which VCores of the owning VM may hold the line in
+// their L1s, so that stores can invalidate remote sharers (the paper's
+// L1/L2 coherence point with an L2-resident directory).
+type Bank struct {
+	// ID is the bank's global index on the fabric.
+	ID int
+	// Pos is the bank's tile coordinate.
+	Pos noc.Coord
+	// Tags is the bank's 64 KB 4-way tag array.
+	Tags *Cache
+	// sharers maps a resident line address to a bitmask of VCore indices
+	// (within the owning VM) that may cache the line in an L1.
+	sharers map[uint64]uint64
+
+	// Invalidations counts sharer invalidations sent by this bank.
+	Invalidations uint64
+}
+
+// NewBank creates a bank at pos with the given tag configuration.
+func NewBank(id int, pos noc.Coord, cfg Config) *Bank {
+	return &Bank{ID: id, Pos: pos, Tags: New(cfg), sharers: make(map[uint64]uint64)}
+}
+
+// Sharers returns the sharer bitmask for a line.
+func (b *Bank) Sharers(lineAddr uint64) uint64 { return b.sharers[lineAddr] }
+
+// AddSharer records that VCore vc may now hold lineAddr in an L1.
+func (b *Bank) AddSharer(lineAddr uint64, vc int) { b.sharers[lineAddr] |= 1 << uint(vc) }
+
+// ClearSharersExcept removes every sharer other than keep (pass keep = -1 to
+// clear all) and returns the bitmask of VCores that must be invalidated.
+func (b *Bank) ClearSharersExcept(lineAddr uint64, keep int) uint64 {
+	cur := b.sharers[lineAddr]
+	var keepMask uint64
+	if keep >= 0 {
+		keepMask = 1 << uint(keep)
+	}
+	inval := cur &^ keepMask
+	if inval != 0 {
+		b.Invalidations += uint64(popcount(inval))
+	}
+	if cur&keepMask != 0 {
+		b.sharers[lineAddr] = cur & keepMask
+	} else {
+		delete(b.sharers, lineAddr)
+	}
+	return inval
+}
+
+// DropLine removes directory state for a line (on eviction from the bank).
+func (b *Bank) DropLine(lineAddr uint64) { delete(b.sharers, lineAddr) }
+
+// Flush invalidates the whole bank (for reassignment to another VM) and
+// clears directory state, returning the number of dirty lines written back.
+func (b *Bank) Flush() int {
+	b.sharers = make(map[uint64]uint64)
+	return b.Tags.FlushAll()
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// HomeMap maps line addresses to the serving bank for one VM's allocation.
+// Each Slice keeps such a table in hardware (§3.5, "home-node mapping
+// table"); here one shared instance serves the whole VM model.
+type HomeMap struct {
+	banks []*Bank
+}
+
+// NewHomeMap builds a home map over the VM's allocated banks (may be empty,
+// meaning the VM runs without L2 and misses go straight to memory).
+func NewHomeMap(banks []*Bank) *HomeMap { return &HomeMap{banks: banks} }
+
+// NumBanks returns the number of banks in the allocation.
+func (h *HomeMap) NumBanks() int { return len(h.banks) }
+
+// Banks returns the underlying allocation.
+func (h *HomeMap) Banks() []*Bank { return h.banks }
+
+// Home returns the bank homing lineAddr, or nil if the VM has no L2. Lines
+// are low-order interleaved across banks.
+func (h *HomeMap) Home(lineAddr uint64) *Bank {
+	if len(h.banks) == 0 {
+		return nil
+	}
+	return h.banks[(lineAddr>>6)%uint64(len(h.banks))]
+}
+
+// TotalBytes returns the aggregate L2 capacity of the allocation.
+func (h *HomeMap) TotalBytes() int {
+	t := 0
+	for _, b := range h.banks {
+		t += b.Tags.Config().SizeBytes
+	}
+	return t
+}
+
+func (h *HomeMap) String() string {
+	return fmt.Sprintf("homemap{%d banks, %d KB}", len(h.banks), h.TotalBytes()/1024)
+}

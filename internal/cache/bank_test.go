@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sharing/internal/noc"
+)
+
+func newBank(id int) *Bank {
+	return NewBank(id, noc.Coord{X: id, Y: 0}, Config{SizeBytes: 64 << 10, LineSize: 64, Ways: 4})
+}
+
+func TestDirectorySharers(t *testing.T) {
+	b := newBank(0)
+	const line = uint64(0x4000)
+	if b.Sharers(line) != 0 {
+		t.Fatal("fresh line has sharers")
+	}
+	b.AddSharer(line, 0)
+	b.AddSharer(line, 2)
+	if b.Sharers(line) != 0b101 {
+		t.Fatalf("sharers = %b", b.Sharers(line))
+	}
+	inval := b.ClearSharersExcept(line, 2)
+	if inval != 0b001 {
+		t.Fatalf("invalidated = %b, want only VCore 0", inval)
+	}
+	if b.Sharers(line) != 0b100 {
+		t.Fatalf("remaining = %b", b.Sharers(line))
+	}
+	if b.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", b.Invalidations)
+	}
+	// Clearing with keep = -1 removes everything.
+	if got := b.ClearSharersExcept(line, -1); got != 0b100 {
+		t.Fatalf("clear-all = %b", got)
+	}
+	if b.Sharers(line) != 0 {
+		t.Fatal("directory entry should be gone")
+	}
+}
+
+func TestDirectoryDropAndFlush(t *testing.T) {
+	b := newBank(1)
+	b.AddSharer(0x40, 1)
+	b.DropLine(0x40)
+	if b.Sharers(0x40) != 0 {
+		t.Fatal("DropLine left state")
+	}
+	b.Tags.Fill(0x40, true)
+	b.AddSharer(0x40, 1)
+	if dirty := b.Flush(); dirty != 1 {
+		t.Fatalf("flush wrote back %d lines", dirty)
+	}
+	if b.Sharers(0x40) != 0 || b.Tags.Contains(0x40) {
+		t.Fatal("flush incomplete")
+	}
+}
+
+func TestHomeMapInterleave(t *testing.T) {
+	banks := []*Bank{newBank(0), newBank(1), newBank(2)}
+	h := NewHomeMap(banks)
+	if h.NumBanks() != 3 || h.TotalBytes() != 3*64<<10 {
+		t.Fatalf("home map geometry wrong: %s", h)
+	}
+	// Consecutive lines must round-robin across banks.
+	for i := uint64(0); i < 12; i++ {
+		want := banks[i%3]
+		if got := h.Home(i * 64); got != want {
+			t.Fatalf("line %d homed to bank %d, want %d", i, got.ID, want.ID)
+		}
+	}
+}
+
+func TestHomeMapPartitionProperty(t *testing.T) {
+	banks := []*Bank{newBank(0), newBank(1), newBank(2), newBank(3), newBank(4)}
+	h := NewHomeMap(banks)
+	// Every line has exactly one home, and it is stable.
+	f := func(line uint64) bool {
+		a, b := h.Home(line), h.Home(line)
+		return a != nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeMapEmpty(t *testing.T) {
+	h := NewHomeMap(nil)
+	if h.Home(0x1234) != nil {
+		t.Fatal("empty allocation must home nowhere (memory direct)")
+	}
+	if h.NumBanks() != 0 || h.TotalBytes() != 0 {
+		t.Fatal("empty geometry wrong")
+	}
+}

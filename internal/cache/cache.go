@@ -1,0 +1,227 @@
+// Package cache implements the tag-array models of the Sharing
+// Architecture's memory hierarchy: per-Slice L1 instruction and data caches,
+// 64 KB L2 cache banks spread across the fabric, and the L2-resident
+// directory that keeps multiple VCores of one VM coherent (the paper places
+// the coherence point between the L1s and the shared L2, §3.5).
+//
+// The package models timing-relevant state only (tags, LRU, dirty bits,
+// sharer sets); data values flow through the simulator's memory image and
+// load/store queues.
+package cache
+
+import "fmt"
+
+// Config describes one cache array.
+type Config struct {
+	// SizeBytes is the total capacity. Zero is legal and means "no cache":
+	// every lookup misses and fills are ignored.
+	SizeBytes int
+	// LineSize is the block size in bytes (power of two).
+	LineSize int
+	// Ways is the set associativity.
+	Ways int
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes == 0 {
+		return nil
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a positive power of two", c.LineSize)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways %d not positive", c.Ways)
+	}
+	lines := c.SizeBytes / c.LineSize
+	if lines*c.LineSize != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineSize)
+	}
+	sets := lines / c.Ways
+	if sets == 0 {
+		return fmt.Errorf("cache: size %d too small for %d ways of %d-byte lines", c.SizeBytes, c.Ways, c.LineSize)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// line is one tag entry. Entries in a set are kept in LRU order,
+// most-recently-used first.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a set-associative, write-back, LRU cache tag array.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+
+	// Statistics.
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// New builds a cache from cfg. It panics on invalid configuration; callers
+// validate user-supplied configs with Config.Validate first.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg}
+	if cfg.SizeBytes == 0 {
+		return c
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineSize {
+		shift++
+	}
+	nSets := cfg.SizeBytes / cfg.LineSize / cfg.Ways
+	c.lineShift = shift
+	c.setMask = uint64(nSets - 1)
+	c.sets = make([][]line, nSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, 0, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	if c.cfg.SizeBytes == 0 {
+		return addr
+	}
+	return addr &^ (uint64(c.cfg.LineSize) - 1)
+}
+
+func (c *Cache) set(addr uint64) ([]line, uint64) {
+	tag := addr >> c.lineShift
+	return c.sets[tag&c.setMask], tag
+}
+
+// Lookup probes the cache. On a hit it updates LRU order and, if write is
+// set, marks the line dirty. It returns whether the access hit.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	if c.cfg.SizeBytes == 0 {
+		c.Misses++
+		return false
+	}
+	set, tag := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			l := set[i]
+			if write {
+				l.dirty = true
+			}
+			copy(set[1:i+1], set[:i]) // move to front
+			set[0] = l
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Contains probes without updating LRU or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	if c.cfg.SizeBytes == 0 {
+		return false
+	}
+	set, tag := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line containing addr as most-recently-used, marking it
+// dirty if dirty is set. If an existing line must be evicted, Fill returns
+// its line address and dirty status with evicted=true. Filling a line that
+// is already present just refreshes its LRU position (and ORs in dirty).
+func (c *Cache) Fill(addr uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
+	if c.cfg.SizeBytes == 0 {
+		return 0, false, false
+	}
+	setIdx := (addr >> c.lineShift) & c.setMask
+	set := c.sets[setIdx]
+	tag := addr >> c.lineShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			l := set[i]
+			l.dirty = l.dirty || dirty
+			copy(set[1:i+1], set[:i])
+			set[0] = l
+			return 0, false, false
+		}
+	}
+	nl := line{tag: tag, valid: true, dirty: dirty}
+	if len(set) < c.cfg.Ways {
+		set = append(set, line{})
+		copy(set[1:], set[:len(set)-1])
+		set[0] = nl
+		c.sets[setIdx] = set
+		return 0, false, false
+	}
+	v := set[len(set)-1]
+	copy(set[1:], set[:len(set)-1])
+	set[0] = nl
+	c.Evictions++
+	if v.dirty {
+		c.Writebacks++
+	}
+	return v.tag << c.lineShift, v.dirty, true
+}
+
+// Invalidate removes the line containing addr if present, reporting whether
+// it was present and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, wasDirty bool) {
+	if c.cfg.SizeBytes == 0 {
+		return false, false
+	}
+	setIdx := (addr >> c.lineShift) & c.setMask
+	set := c.sets[setIdx]
+	tag := addr >> c.lineShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			wasDirty = set[i].dirty
+			c.sets[setIdx] = append(set[:i], set[i+1:]...)
+			return true, wasDirty
+		}
+	}
+	return false, false
+}
+
+// FlushAll invalidates every line and returns how many dirty lines were
+// written back. Used when an L2 bank is reassigned to a different VM
+// (§3.8: reconfiguring cache requires flushing banks to main memory).
+func (c *Cache) FlushAll() (dirtyLines int) {
+	for i := range c.sets {
+		for _, l := range c.sets[i] {
+			if l.valid && l.dirty {
+				dirtyLines++
+			}
+		}
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.Writebacks += uint64(dirtyLines)
+	return dirtyLines
+}
+
+// MissRate returns the fraction of lookups that missed.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}

@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cfg16k() Config { return Config{SizeBytes: 16 << 10, LineSize: 64, Ways: 2} }
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{}, // zero size = no cache
+		cfg16k(),
+		{SizeBytes: 64 << 10, LineSize: 64, Ways: 4},
+		{SizeBytes: 16 << 10, LineSize: 8, Ways: 2}, // the paper's L1I (8B lines)
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{SizeBytes: 1024, LineSize: 48, Ways: 2},    // non-power-of-two line
+		{SizeBytes: 1000, LineSize: 64, Ways: 2},    // not multiple of line
+		{SizeBytes: 1024, LineSize: 64, Ways: 0},    // no ways
+		{SizeBytes: 128, LineSize: 64, Ways: 4},     // fewer lines than ways
+		{SizeBytes: 64 * 48, LineSize: 64, Ways: 4}, // sets not power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(cfg16k())
+	if c.Lookup(0x1000, false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(0x1000, false)
+	if !c.Lookup(0x1000, false) {
+		t.Fatal("filled line missed")
+	}
+	if !c.Lookup(0x1038, false) {
+		t.Fatal("same 64B line must hit")
+	}
+	if c.Lookup(0x1040, false) {
+		t.Fatal("next line must miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if r := c.MissRate(); r != 0.5 {
+		t.Fatalf("miss rate %f", r)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 2-way: fill A, B (same set), touch A, fill C -> B evicted, A stays.
+	c := New(cfg16k())
+	sets := uint64(16 << 10 / 64 / 2)
+	a := uint64(0x10000)
+	b := a + sets*64
+	d := a + 2*sets*64
+	c.Fill(a, false)
+	c.Fill(b, false)
+	c.Lookup(a, false)
+	victim, _, evicted := c.Fill(d, false)
+	if !evicted || victim != b {
+		t.Fatalf("victim = %#x (evicted=%v), want %#x", victim, evicted, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := New(cfg16k())
+	sets := uint64(16 << 10 / 64 / 2)
+	a := uint64(0)
+	c.Fill(a, false)
+	c.Lookup(a, true) // dirty it
+	c.Fill(a+sets*64, false)
+	victim, victimDirty, evicted := c.Fill(a+2*sets*64, false)
+	if !evicted || victim != a || !victimDirty {
+		t.Fatalf("dirty eviction wrong: %#x dirty=%v evicted=%v", victim, victimDirty, evicted)
+	}
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Writebacks)
+	}
+}
+
+func TestFillExistingRefreshes(t *testing.T) {
+	c := New(cfg16k())
+	c.Fill(0x40, true)
+	if _, _, evicted := c.Fill(0x40, false); evicted {
+		t.Fatal("re-filling a resident line must not evict")
+	}
+	// Dirty bit must be sticky.
+	_, wasDirty := c.Invalidate(0x40)
+	if !wasDirty {
+		t.Fatal("dirty bit lost on refresh")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(cfg16k())
+	c.Fill(0x80, false)
+	present, dirty := c.Invalidate(0x80)
+	if !present || dirty {
+		t.Fatalf("invalidate = %v,%v", present, dirty)
+	}
+	if c.Contains(0x80) {
+		t.Fatal("line still present")
+	}
+	if present, _ := c.Invalidate(0x80); present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := New(cfg16k())
+	for i := uint64(0); i < 32; i++ {
+		c.Fill(i*64, i%2 == 0)
+	}
+	dirty := c.FlushAll()
+	if dirty != 16 {
+		t.Fatalf("flushed %d dirty lines, want 16", dirty)
+	}
+	for i := uint64(0); i < 32; i++ {
+		if c.Contains(i * 64) {
+			t.Fatal("line survived flush")
+		}
+	}
+}
+
+func TestZeroSizeCache(t *testing.T) {
+	c := New(Config{})
+	if c.Lookup(0x40, false) || c.Contains(0x40) {
+		t.Fatal("zero-size cache can never hit")
+	}
+	if _, _, evicted := c.Fill(0x40, true); evicted {
+		t.Fatal("zero-size cache cannot evict")
+	}
+	if p, _ := c.Invalidate(0x40); p {
+		t.Fatal("zero-size cache holds nothing")
+	}
+}
+
+// TestSetInvariants: no set overflows its ways; the most recently touched
+// line is never the next victim; occupancy equals distinct fills bounded by
+// capacity.
+func TestSetInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{SizeBytes: 2048, LineSize: 64, Ways: 4})
+		resident := make(map[uint64]bool)
+		for i := 0; i < 2000; i++ {
+			addr := uint64(rng.Intn(256)) * 64
+			if rng.Intn(2) == 0 {
+				hit := c.Lookup(addr, rng.Intn(4) == 0)
+				if hit != resident[addr] {
+					return false
+				}
+				if !hit {
+					victim, _, evicted := c.Fill(addr, false)
+					if evicted {
+						if !resident[victim] {
+							return false
+						}
+						delete(resident, victim)
+					}
+					resident[addr] = true
+				}
+			} else {
+				victim, _, evicted := c.Fill(addr, false)
+				if evicted {
+					if victim == addr || !resident[victim] {
+						return false
+					}
+					delete(resident, victim)
+				}
+				resident[addr] = true
+			}
+			if len(resident) > 2048/64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(cfg16k())
+	if got := c.LineAddr(0x12345); got != 0x12340 {
+		t.Fatalf("LineAddr = %#x", got)
+	}
+	z := New(Config{})
+	if got := z.LineAddr(0x1234); got != 0x1234 {
+		t.Fatalf("zero-size LineAddr = %#x", got)
+	}
+}

@@ -1,0 +1,170 @@
+package econ
+
+import "fmt"
+
+// Market clearing (§2.3 of the paper): "the cloud provider auctions off all
+// resources down to the ALU, KB of cache, ...". Section 2 argues that
+// pricing Slices and banks individually lets the market clear at prices
+// reflecting instantaneous demand. This file implements that auction as a
+// tatonnement (iterative price adjustment): given the chip's fixed supply
+// of Slices and banks and a population of utility-maximizing customers,
+// prices rise on over-demanded resources and fall on idle ones until demand
+// meets supply.
+
+// Customer is one IaaS tenant bidding in the market.
+type Customer struct {
+	// Name labels the tenant.
+	Name string
+	// Grid is the tenant's measured performance per configuration.
+	Grid Grid
+	// Utility is the tenant's utility family (K) and budget.
+	Utility Utility
+}
+
+// demand returns the tenant's resource demand at the given prices: the
+// utility-maximizing configuration times the number of VCores the budget
+// affords.
+func (c *Customer) demand(m Market) (cfg Config, vcores float64) {
+	cfg, _ = c.Utility.Best(m, c.Grid)
+	cost := m.Cost(cfg)
+	if cost <= 0 {
+		return cfg, 0
+	}
+	return cfg, c.Utility.Budget / cost
+}
+
+// Supply is the chip's rentable resources.
+type Supply struct {
+	Slices int
+	Banks  int
+}
+
+// ClearingResult describes the auction outcome.
+type ClearingResult struct {
+	// Prices is the market-clearing price vector.
+	Prices Market
+	// Iterations is the number of tatonnement rounds used.
+	Iterations int
+	// Allocations holds each customer's chosen configuration and VCore
+	// count at the clearing prices, in input order.
+	Allocations []Allocation
+	// SliceDemand and BankDemand are total demand at the final prices.
+	SliceDemand, BankDemand float64
+	// TotalUtility is the sum of customer utilities at the clearing point.
+	TotalUtility float64
+}
+
+// Allocation is one customer's market outcome.
+type Allocation struct {
+	Customer string
+	Config   Config
+	VCores   float64
+	Utility  float64
+}
+
+// ClearMarket runs the tatonnement: starting from area prices (Market2),
+// each round computes aggregate demand, then nudges each resource's price
+// by its relative excess demand. Because configurations are discrete, exact
+// supply=demand equality need not exist (demand jumps at price thresholds);
+// the provider's actual constraint is only that nothing is OVER-demanded,
+// so the auction stops once every resource's demand is within tol above its
+// supply (idle capacity is allowed), or after maxIter rounds. Demand is
+// declared in fractional VCores, which is the paper's time-multiplexed
+// leasing: renting 2.5 VCores means 2 full-time and one half-time.
+func ClearMarket(customers []Customer, supply Supply, tol float64, maxIter int) (*ClearingResult, error) {
+	if len(customers) == 0 {
+		return nil, fmt.Errorf("econ: no customers")
+	}
+	if supply.Slices <= 0 || supply.Banks < 0 {
+		return nil, fmt.Errorf("econ: invalid supply %+v", supply)
+	}
+	if tol <= 0 {
+		tol = 0.05
+	}
+	if maxIter <= 0 {
+		maxIter = 4000
+	}
+	m := Market2()
+	m.Name = "cleared"
+	var sliceD, bankD float64
+	best := m
+	bestOver := 1e18
+	bestIt := 0
+	for it := 1; it <= maxIter; it++ {
+		sliceD, bankD = 0, 0
+		for i := range customers {
+			cfg, v := customers[i].demand(m)
+			sliceD += v * float64(cfg.Slices)
+			bankD += v * float64(cfg.Banks())
+		}
+		exS := sliceD/float64(supply.Slices) - 1
+		exB := 0.0
+		if supply.Banks > 0 {
+			exB = bankD/float64(supply.Banks) - 1
+		} else if bankD > 0.5 {
+			exB = 1 // zero supply: keep raising the price until demand dies
+		}
+		if exS <= tol && exB <= tol {
+			return clearingAt(customers, m, it, sliceD, bankD), nil
+		}
+		// Discrete demand can limit-cycle around the clearing point;
+		// remember the least-oversold prices seen so far.
+		if over := maxf(exS, exB); over < bestOver {
+			bestOver, best, bestIt = over, m, it
+		}
+		// Asymmetric ratchet: an over-demanded resource's price rises in
+		// proportion to its excess demand; an idle resource's price falls
+		// only gently (a provider would rather leave capacity idle than
+		// oversell it). The step decays so the search settles, and prices
+		// never fall below a floor so the chip is never given away.
+		step := 0.3 / (1 + 0.02*float64(it))
+		if step < 0.02 {
+			step = 0.02
+		}
+		adjust := func(price, excess float64) float64 {
+			if excess > 0 {
+				return clampPrice(price * (1 + step*excess))
+			}
+			return clampPrice(price * (1 + 0.25*step*excess))
+		}
+		m.SliceCost = adjust(m.SliceCost, exS)
+		m.BankCost = adjust(m.BankCost, exB)
+	}
+	// No exact clearing point within maxIter (discrete configurations can
+	// make one impossible): return the least-oversold prices observed; the
+	// caller can inspect demand vs supply.
+	res := clearingAt(customers, best, bestIt, 0, 0)
+	for _, a := range res.Allocations {
+		res.SliceDemand += a.VCores * float64(a.Config.Slices)
+		res.BankDemand += a.VCores * float64(a.Config.Banks())
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampPrice(p float64) float64 {
+	const floor = 0.001
+	if p < floor {
+		return floor
+	}
+	return p
+}
+
+func clearingAt(customers []Customer, m Market, it int, sliceD, bankD float64) *ClearingResult {
+	res := &ClearingResult{Prices: m, Iterations: it, SliceDemand: sliceD, BankDemand: bankD}
+	for i := range customers {
+		cfg, v := customers[i].demand(m)
+		u := customers[i].Utility.Value(m, customers[i].Grid[cfg], cfg)
+		res.Allocations = append(res.Allocations, Allocation{
+			Customer: customers[i].Name, Config: cfg, VCores: v, Utility: u,
+		})
+		res.TotalUtility += u
+	}
+	return res
+}

@@ -1,0 +1,100 @@
+package econ
+
+import (
+	"math"
+	"testing"
+)
+
+// auctionSuite: one cache-hungry tenant, one slice-hungry tenant.
+func auctionCustomers() []Customer {
+	cacheLover := toyGrid(func(c Config) float64 {
+		return 0.5 + 2*float64(c.CacheKB)/(float64(c.CacheKB)+256)
+	})
+	sliceLover := toyGrid(func(c Config) float64 {
+		return float64(c.Slices)
+	})
+	return []Customer{
+		{Name: "analytics", Grid: cacheLover, Utility: Utility{K: 2, Budget: 300}},
+		{Name: "batch", Grid: sliceLover, Utility: Utility{K: 1, Budget: 300}},
+	}
+}
+
+func TestClearMarketBalancesDemand(t *testing.T) {
+	supply := Supply{Slices: 64, Banks: 64}
+	res, err := ClearMarket(auctionCustomers(), supply, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SliceDemand > float64(supply.Slices)*1.06 {
+		t.Fatalf("slices over-demanded at clearing: %.1f for %d", res.SliceDemand, supply.Slices)
+	}
+	if res.BankDemand > float64(supply.Banks)*1.06 {
+		t.Fatalf("banks over-demanded at clearing: %.1f for %d", res.BankDemand, supply.Banks)
+	}
+	if len(res.Allocations) != 2 || res.TotalUtility <= 0 {
+		t.Fatalf("allocations: %+v", res.Allocations)
+	}
+	for _, a := range res.Allocations {
+		if !a.Config.Valid() || a.VCores <= 0 {
+			t.Fatalf("degenerate allocation %+v", a)
+		}
+	}
+}
+
+func TestClearMarketScarcityRaisesPrices(t *testing.T) {
+	// Halving the supply must raise at least one clearing price.
+	rich, err := ClearMarket(auctionCustomers(), Supply{Slices: 256, Banks: 256}, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poor, err := ClearMarket(auctionCustomers(), Supply{Slices: 32, Banks: 32}, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	richTotal := rich.Prices.SliceCost + rich.Prices.BankCost
+	poorTotal := poor.Prices.SliceCost + poor.Prices.BankCost
+	if poorTotal <= richTotal {
+		t.Fatalf("scarcity must raise prices: rich %.3f vs poor %.3f", richTotal, poorTotal)
+	}
+	// And scarce-chip tenants end up with less utility.
+	if poor.TotalUtility >= rich.TotalUtility {
+		t.Fatalf("utility should fall with supply: %.1f vs %.1f", poor.TotalUtility, rich.TotalUtility)
+	}
+}
+
+func TestClearMarketNoBanks(t *testing.T) {
+	res, err := ClearMarket(auctionCustomers(), Supply{Slices: 64, Banks: 0}, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no banks for sale their price must have been driven up, pushing
+	// customers toward cache-free configurations.
+	if res.BankDemand > 1 {
+		t.Fatalf("bank demand %.2f with zero supply; price %.3f", res.BankDemand, res.Prices.BankCost)
+	}
+}
+
+func TestClearMarketErrors(t *testing.T) {
+	if _, err := ClearMarket(nil, Supply{Slices: 1}, 0, 0); err == nil {
+		t.Fatal("no customers accepted")
+	}
+	if _, err := ClearMarket(auctionCustomers(), Supply{Slices: 0}, 0, 0); err == nil {
+		t.Fatal("zero supply accepted")
+	}
+}
+
+func TestClearMarketBudgetScalesDemandNotPrices(t *testing.T) {
+	// Doubling every budget doubles willingness to pay; clearing demand
+	// still equals supply, so allocations stay feasible.
+	cs := auctionCustomers()
+	for i := range cs {
+		cs[i].Utility.Budget *= 2
+	}
+	res, err := ClearMarket(cs, Supply{Slices: 64, Banks: 64}, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SliceDemand > 64*1.06 || math.IsNaN(res.TotalUtility) {
+		t.Fatalf("clearing broke under budget scaling: %+v", res)
+	}
+}

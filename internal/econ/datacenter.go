@@ -1,0 +1,130 @@
+package econ
+
+import "fmt"
+
+// Datacenter heterogeneity comparison (§5.9, Fig. 17). A datacenter of
+// fixed total area is split between "big" cores (the configuration where
+// gobmk peaks under Utility1: 3 Slices + 256 KB) and "small" cores (where
+// hmmer peaks: 1 Slice + 0 KB). Jobs arrive in a given application mix and
+// are assigned to core types to maximize total utility; the experiment
+// shows that the optimal big:small area split moves with the application
+// mix, so no static heterogeneous mix serves all mixes well.
+
+// CoreType is one fixed core flavour a heterogeneous datacenter builds.
+type CoreType struct {
+	Name string
+	Cfg  Config
+}
+
+// BigCore and SmallCore are the paper's Fig. 17 endpoints.
+func BigCore() CoreType   { return CoreType{Name: "big", Cfg: Config{Slices: 3, CacheKB: 256}} }
+func SmallCore() CoreType { return CoreType{Name: "small", Cfg: Config{Slices: 1, CacheKB: 0}} }
+
+// MixPoint is one Fig. 17 sample: a big-core area fraction, an application
+// mix, and the resulting datacenter utility per unit area.
+type MixPoint struct {
+	BigAreaFrac float64
+	AppFracA    float64 // fraction of jobs that are benchmark A
+	Utility     float64 // total utility per unit area
+}
+
+// DatacenterMix sweeps big-core area fraction for each application mix.
+// benchA/benchB supply each benchmark's measured performance on both core
+// types. Jobs are infinitely divisible (a large population) and each core
+// runs one job; assignment maximizes total P^k-per-area utility (Utility-k
+// under Market2 semantics; the paper uses k=1, and on this substrate's
+// compressed performance spreads k=2 recovers the same qualitative
+// behaviour - see EXPERIMENTS.md).
+func DatacenterMix(gA, gB Grid, big, small CoreType, k int, bigFracs, appFracs []float64) ([]MixPoint, error) {
+	perf := func(g Grid, ct CoreType) (float64, error) {
+		p, ok := g[ct.Cfg]
+		if !ok {
+			return 0, fmt.Errorf("econ: no measurement at %v", ct.Cfg)
+		}
+		return p, nil
+	}
+	pAbig, err := perf(gA, big)
+	if err != nil {
+		return nil, err
+	}
+	pAsmall, err := perf(gA, small)
+	if err != nil {
+		return nil, err
+	}
+	pBbig, err := perf(gB, big)
+	if err != nil {
+		return nil, err
+	}
+	pBsmall, err := perf(gB, small)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("econ: utility exponent %d < 1", k)
+	}
+	pow := func(p float64) float64 {
+		out := p
+		for i := 1; i < k; i++ {
+			out *= p
+		}
+		return out
+	}
+	pAbig, pAsmall, pBbig, pBsmall = pow(pAbig), pow(pAsmall), pow(pBbig), pow(pBsmall)
+	areaBig := Market2().Cost(big.Cfg)
+	areaSmall := Market2().Cost(small.Cfg)
+	const totalArea = 1000.0
+	var out []MixPoint
+	for _, af := range appFracs {
+		for _, bf := range bigFracs {
+			nBig := bf * totalArea / areaBig
+			nSmall := (1 - bf) * totalArea / areaSmall
+			jobs := nBig + nSmall
+			jobsA := af * jobs
+			jobsB := jobs - jobsA
+			// Assign job classes to core types by comparative advantage:
+			// put A on big cores first when A benefits more from big cores
+			// than B does, otherwise B first.
+			var util float64
+			advA := pAbig / pAsmall
+			advB := pBbig / pBsmall
+			bigLeft, smallLeft := nBig, nSmall
+			place := func(jobs float64, pBig, pSmall float64) float64 {
+				onBig := jobs
+				if onBig > bigLeft {
+					onBig = bigLeft
+				}
+				bigLeft -= onBig
+				onSmall := jobs - onBig
+				if onSmall > smallLeft {
+					onSmall = smallLeft
+				}
+				smallLeft -= onSmall
+				return onBig*pBig + onSmall*pSmall
+			}
+			if advA >= advB {
+				util = place(jobsA, pAbig, pAsmall)
+				util += place(jobsB, pBbig, pBsmall)
+			} else {
+				util = place(jobsB, pBbig, pBsmall)
+				util += place(jobsA, pAbig, pAsmall)
+			}
+			out = append(out, MixPoint{BigAreaFrac: bf, AppFracA: af, Utility: util / totalArea})
+		}
+	}
+	return out, nil
+}
+
+// OptimalBigFrac returns, per application mix, the big-core fraction with
+// the highest utility — the quantity whose movement with the mix is the
+// point of Fig. 17.
+func OptimalBigFrac(points []MixPoint) map[float64]float64 {
+	best := make(map[float64]float64)
+	bestU := make(map[float64]float64)
+	for _, p := range points {
+		if u, ok := bestU[p.AppFracA]; !ok || p.Utility > u {
+			bestU[p.AppFracA] = p.Utility
+			best[p.AppFracA] = p.BigAreaFrac
+		}
+	}
+	return best
+}

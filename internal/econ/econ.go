@@ -1,0 +1,163 @@
+// Package econ implements the paper's economic model (§2, §5.6-§5.10): IaaS
+// customers buy fine-grain resources (Slices, 64 KB cache banks) under a
+// budget and maximize their own utility; the provider's market efficiency is
+// the total utility realized. The package is pure: it consumes performance
+// measurements P(c,s) produced by the simulator and computes optima, market
+// comparisons, datacenter mixes, and dynamic-phase gains.
+package econ
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config is a VCore configuration: Slice count and total L2 in KB.
+type Config struct {
+	Slices  int
+	CacheKB int
+}
+
+func (c Config) String() string { return fmt.Sprintf("(%dKB, %d)", c.CacheKB, c.Slices) }
+
+// Banks returns the number of 64 KB banks.
+func (c Config) Banks() int { return c.CacheKB / 64 }
+
+// Valid applies Equation 3 of the paper: 0 <= cache <= 8 MB, 1 <= s <= 8.
+func (c Config) Valid() bool {
+	return c.Slices >= 1 && c.Slices <= 8 && c.CacheKB >= 0 && c.CacheKB <= 8192 && c.CacheKB%64 == 0
+}
+
+// Grid holds one benchmark's measured performance P(c,s) per configuration.
+// Performance is any throughput-like metric (the harness uses committed
+// instructions per cycle); only ratios matter downstream.
+type Grid map[Config]float64
+
+// Configs returns the grid's configurations in deterministic order.
+func (g Grid) Configs() []Config {
+	out := make([]Config, 0, len(g))
+	for c := range g {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slices != out[j].Slices {
+			return out[i].Slices < out[j].Slices
+		}
+		return out[i].CacheKB < out[j].CacheKB
+	})
+	return out
+}
+
+// Market prices the two sub-core resources. Costs are in abstract dollars;
+// under Market2 they equal area units so that maximizing utility coincides
+// with the paper's perf^k/area metrics.
+type Market struct {
+	Name      string
+	SliceCost float64 // per Slice
+	BankCost  float64 // per 64 KB bank
+}
+
+// The three markets of §5.7: Market2 prices resources at area cost (one
+// Slice = 128 KB of cache = 2 banks); Market1 prices Slices at four times
+// their equal-area cost (Slice demand outstrips supply); Market3 prices
+// cache at four times its equal-area cost.
+func Market1() Market { return Market{Name: "Market1", SliceCost: 4.0, BankCost: 0.5} }
+func Market2() Market { return Market{Name: "Market2", SliceCost: 1.0, BankCost: 0.5} }
+func Market3() Market { return Market{Name: "Market3", SliceCost: 1.0, BankCost: 2.0} }
+
+// Markets returns all three in order.
+func Markets() []Market { return []Market{Market1(), Market2(), Market3()} }
+
+// Cost returns the price of one VCore configuration.
+func (m Market) Cost(c Config) float64 {
+	return m.SliceCost*float64(c.Slices) + m.BankCost*float64(c.Banks())
+}
+
+// Utility is the paper's utility family (Table 5): U_k = v * P(c,s)^k with
+// v = B / (Cc*c + Cs*s) VCores affordable under budget B (Equations 1-4).
+// K=1 is the throughput/latency-tolerant customer (U_LT), K=2 favours
+// single-stream performance, K=3 is the OLDI customer (U_OLDI).
+type Utility struct {
+	K      int
+	Budget float64
+}
+
+// Utility1..Utility3 use a fixed budget; utility GAINS are budget-invariant.
+func Utility1() Utility { return Utility{K: 1, Budget: DefaultBudget} }
+func Utility2() Utility { return Utility{K: 2, Budget: DefaultBudget} }
+func Utility3() Utility { return Utility{K: 3, Budget: DefaultBudget} }
+
+// DefaultBudget is the customer budget used throughout the evaluation: it
+// buys one maximal VCore (8 Slices + 8 MB) under Market2 with room to spare.
+const DefaultBudget = 100.0
+
+// Utilities returns Utility1..Utility3 in order.
+func Utilities() []Utility { return []Utility{Utility1(), Utility2(), Utility3()} }
+
+func (u Utility) String() string { return fmt.Sprintf("Utility%d", u.K) }
+
+// Value computes U = v * P^K for a configuration under a market. The number
+// of VCores v may be fractional (customers rent over time; only ratios
+// matter). Configurations the budget cannot afford at least a sliver of
+// return 0.
+func (u Utility) Value(m Market, perf float64, cfg Config) float64 {
+	cost := m.Cost(cfg)
+	if cost <= 0 {
+		return 0
+	}
+	v := u.Budget / cost
+	return v * math.Pow(perf, float64(u.K))
+}
+
+// Best returns the utility-maximizing configuration on the grid.
+func (u Utility) Best(m Market, g Grid) (Config, float64) {
+	var best Config
+	bestU := math.Inf(-1)
+	for _, c := range g.Configs() {
+		if !c.Valid() {
+			continue
+		}
+		if v := u.Value(m, g[c], c); v > bestU {
+			best, bestU = c, v
+		}
+	}
+	return best, bestU
+}
+
+// Metric is the paper's performance-area efficiency metric perf^k/area
+// (Table 4). It equals utility under Market2 up to a constant factor.
+func Metric(k int, perf float64, cfg Config) float64 {
+	a := Market2().Cost(cfg) // area units
+	return math.Pow(perf, float64(k)) / a
+}
+
+// BestByMetric returns the perf^k/area-maximizing configuration.
+func BestByMetric(k int, g Grid) (Config, float64) {
+	var best Config
+	bestM := math.Inf(-1)
+	for _, c := range g.Configs() {
+		if !c.Valid() {
+			continue
+		}
+		if v := Metric(k, g[c], c); v > bestM {
+			best, bestM = c, v
+		}
+	}
+	return best, bestM
+}
+
+// GME returns the geometric mean of xs (the aggregate SPEC-style statistic
+// SSim reports, §5.2).
+func GME(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

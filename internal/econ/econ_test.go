@@ -1,0 +1,227 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func toyGrid(perf func(c Config) float64) Grid {
+	g := make(Grid)
+	for _, s := range []int{1, 2, 4, 8} {
+		for _, kb := range []int{0, 64, 128, 512, 1024} {
+			cfg := Config{Slices: s, CacheKB: kb}
+			g[cfg] = perf(cfg)
+		}
+	}
+	return g
+}
+
+func TestConfigBasics(t *testing.T) {
+	c := Config{Slices: 3, CacheKB: 256}
+	if c.Banks() != 4 {
+		t.Fatalf("banks = %d", c.Banks())
+	}
+	if c.String() != "(256KB, 3)" {
+		t.Fatalf("string = %s", c.String())
+	}
+	valid := []Config{{1, 0}, {8, 8192}, {4, 64}}
+	for _, v := range valid {
+		if !v.Valid() {
+			t.Errorf("%v should be valid", v)
+		}
+	}
+	invalid := []Config{{0, 0}, {9, 0}, {1, -64}, {1, 8256}, {1, 100}}
+	for _, v := range invalid {
+		if v.Valid() {
+			t.Errorf("%v should be invalid (Equation 3)", v)
+		}
+	}
+}
+
+func TestMarketCosts(t *testing.T) {
+	cfg := Config{Slices: 2, CacheKB: 256} // 2 slices + 4 banks
+	if got := Market2().Cost(cfg); got != 2*1.0+4*0.5 {
+		t.Fatalf("Market2 cost = %f", got)
+	}
+	if got := Market1().Cost(cfg); got != 2*4.0+4*0.5 {
+		t.Fatalf("Market1 cost = %f", got)
+	}
+	if got := Market3().Cost(cfg); got != 2*1.0+4*2.0 {
+		t.Fatalf("Market3 cost = %f", got)
+	}
+	// Market2's defining identity: 1 Slice costs the same as 128 KB.
+	if Market2().Cost(Config{Slices: 1}) != Market2().Cost(Config{CacheKB: 128}) {
+		t.Fatal("Market2 equal-area identity broken")
+	}
+	if len(Markets()) != 3 {
+		t.Fatal("three markets expected")
+	}
+}
+
+func TestUtilityValue(t *testing.T) {
+	u := Utility{K: 2, Budget: 100}
+	cfg := Config{Slices: 2, CacheKB: 0} // cost 2 under Market2
+	// v = 100/2 = 50, U = 50 * 3^2 = 450.
+	if got := u.Value(Market2(), 3, cfg); got != 450 {
+		t.Fatalf("U = %f", got)
+	}
+	if got := u.Value(Market2(), 0, cfg); got != 0 {
+		t.Fatalf("zero perf utility = %f", got)
+	}
+}
+
+func TestUtilityBudgetLinearity(t *testing.T) {
+	f := func(budget uint16, perf uint16) bool {
+		b := float64(budget%1000) + 1
+		p := float64(perf%100)/10 + 0.1
+		cfg := Config{Slices: 2, CacheKB: 128}
+		u1 := Utility{K: 2, Budget: b}.Value(Market2(), p, cfg)
+		u2 := Utility{K: 2, Budget: 2 * b}.Value(Market2(), p, cfg)
+		return math.Abs(u2-2*u1) < 1e-9*math.Abs(u1)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestPicksKnownOptimum(t *testing.T) {
+	// Performance saturates with cache; utility should pick a finite point.
+	g := toyGrid(func(c Config) float64 {
+		return float64(c.Slices) * (1 + float64(c.CacheKB)/(float64(c.CacheKB)+256))
+	})
+	cfg1, u1 := Utility1().Best(Market2(), g)
+	cfg3, u3 := Utility3().Best(Market2(), g)
+	if u1 <= 0 || u3 <= 0 {
+		t.Fatal("degenerate best utilities")
+	}
+	// Utility3 weighs perf harder, so it never buys LESS than Utility1.
+	if Market2().Cost(cfg3) < Market2().Cost(cfg1) {
+		t.Fatalf("Utility3 chose cheaper config %v than Utility1's %v", cfg3, cfg1)
+	}
+}
+
+func TestMetricMatchesMarket2Ordering(t *testing.T) {
+	// Under Market2, perf^k/area and U_k order configurations identically.
+	g := toyGrid(func(c Config) float64 {
+		return float64(c.Slices) + float64(c.CacheKB)/512
+	})
+	for k := 1; k <= 3; k++ {
+		u := Utility{K: k, Budget: DefaultBudget}
+		cfgU, _ := u.Best(Market2(), g)
+		cfgM, _ := BestByMetric(k, g)
+		if cfgU != cfgM {
+			t.Fatalf("k=%d: utility best %v != metric best %v", k, cfgU, cfgM)
+		}
+	}
+}
+
+func TestGME(t *testing.T) {
+	if got := GME([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GME = %f", got)
+	}
+	if GME(nil) != 0 {
+		t.Fatal("empty GME")
+	}
+	if GME([]float64{1, 0}) != 0 {
+		t.Fatal("GME with zero element must be 0")
+	}
+}
+
+func TestGridConfigsSorted(t *testing.T) {
+	g := toyGrid(func(c Config) float64 { return 1 })
+	cs := g.Configs()
+	for i := 1; i < len(cs); i++ {
+		a, b := cs[i-1], cs[i]
+		if a.Slices > b.Slices || (a.Slices == b.Slices && a.CacheKB >= b.CacheKB) {
+			t.Fatalf("configs not sorted at %d: %v %v", i, a, b)
+		}
+	}
+}
+
+// Two-benchmark toy suite with opposite preferences: "small" peaks on tiny
+// configs, "big" needs cache. A single fixed architecture must lose to
+// per-customer configuration.
+func toySuite() Suite {
+	small := toyGrid(func(c Config) float64 {
+		// No benefit from cache or extra slices.
+		return 1.0
+	})
+	big := toyGrid(func(c Config) float64 {
+		return float64(c.Slices) * (0.2 + 0.8*float64(c.CacheKB)/(float64(c.CacheKB)+128))
+	})
+	return Suite{"small": small, "big": big}
+}
+
+func TestBestFixedAndGains(t *testing.T) {
+	s := toySuite()
+	utils := Utilities()
+	fixed, err := BestFixed(s, utils, Market2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fixed.Valid() {
+		t.Fatalf("fixed = %v", fixed)
+	}
+	gains, fixed2, err := FixedArchGains(s, utils, Market2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed2 != fixed {
+		t.Fatal("inconsistent fixed config")
+	}
+	// (2 benchmarks x 3 utilities) choose-2 with repetition = 21 points.
+	if len(gains) != 21 {
+		t.Fatalf("%d pair points, want 21", len(gains))
+	}
+	st := Summarize(gains)
+	if st.Max < 1 || st.GMean < 1-1e-9 {
+		t.Fatalf("sharing lost to a fixed architecture: %+v", st)
+	}
+	for _, g := range gains {
+		if g.Gain < 1-1e-9 {
+			t.Fatalf("pair %v gained %f < 1: per-customer optima cannot be worse than one fixed config", g, g.Gain)
+		}
+	}
+}
+
+func TestHeteroGains(t *testing.T) {
+	s := toySuite()
+	gains, perU, err := HeteroGains(s, Utilities(), Market2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perU) != 3 {
+		t.Fatalf("per-utility configs: %v", perU)
+	}
+	if len(gains) != 21 {
+		t.Fatalf("%d points", len(gains))
+	}
+	// Heterogeneous is a strictly richer baseline than a single fixed
+	// config, so gains must not exceed the Fig. 15 gains on average.
+	fg, _, _ := FixedArchGains(s, Utilities(), Market2())
+	if Summarize(gains).GMean > Summarize(fg).GMean+1e-9 {
+		t.Fatal("hetero baseline cannot be weaker than the fixed baseline")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.Points != 0 || st.Max != 0 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestBestFixedErrors(t *testing.T) {
+	if _, err := BestFixed(Suite{}, Utilities(), Market2()); err == nil {
+		t.Fatal("empty suite accepted")
+	}
+	// Mismatched grids (a config missing from one benchmark) must error.
+	s := toySuite()
+	for cfg := range s["small"] {
+		delete(s["small"], cfg)
+	}
+	if _, err := BestFixed(s, Utilities(), Market2()); err == nil {
+		t.Fatal("suite with empty grid accepted")
+	}
+}

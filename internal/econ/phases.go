@@ -1,0 +1,131 @@
+package econ
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dynamic phase analysis (§5.10, Table 7): gcc is split into ten phases,
+// each simulated independently across the configuration grid; the VCore is
+// reconfigured between phases at the hypervisor's cost (10,000 cycles when
+// the cache allocation changes, 500 when only the Slice count changes), and
+// the dynamic schedule's perf^k/area is compared with the best static
+// configuration for the same program.
+
+// PhaseData is one phase's measurements.
+type PhaseData struct {
+	// Insts is the instruction count of the phase's trace.
+	Insts uint64
+	// Cycles maps each configuration to the phase's execution time.
+	Cycles map[Config]int64
+}
+
+// PhaseSchedule is the outcome of the dynamic analysis for one metric.
+type PhaseSchedule struct {
+	K int
+	// PerPhase is the chosen configuration per phase.
+	PerPhase []Config
+	// StaticBest is the best single configuration across all phases.
+	StaticBest Config
+	// DynGME and StaticGME are geometric means of the per-phase
+	// perf^k/area metric, with reconfiguration costs charged to the
+	// dynamic schedule.
+	DynGME, StaticGME float64
+	// Gain is DynGME/StaticGME - 1.
+	Gain float64
+}
+
+// ReconfigCostFn prices a configuration change.
+type ReconfigCostFn func(from, to Config) int64
+
+// PhaseAnalysis computes Table 7 for one metric exponent k.
+func PhaseAnalysis(phases []PhaseData, k int, reconfig ReconfigCostFn) (*PhaseSchedule, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("econ: no phases")
+	}
+	var configs []Config
+	for c := range phases[0].Cycles {
+		configs = append(configs, c)
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("econ: phase 0 has no measurements")
+	}
+	metric := func(ph PhaseData, c Config, extraCycles int64) (float64, error) {
+		cyc, ok := ph.Cycles[c]
+		if !ok {
+			return 0, fmt.Errorf("econ: config %v not measured in every phase", c)
+		}
+		perf := float64(ph.Insts) / float64(cyc+extraCycles)
+		return Metric(k, perf, c), nil
+	}
+	// Per-phase optimum, ignoring reconfiguration cost during selection
+	// (as the paper does; costs are charged to the resulting schedule).
+	sched := &PhaseSchedule{K: k, PerPhase: make([]Config, len(phases))}
+	for i, ph := range phases {
+		best := math.Inf(-1)
+		for _, c := range sortConfigs(configs) {
+			m, err := metric(ph, c, 0)
+			if err != nil {
+				return nil, err
+			}
+			if m > best {
+				best = m
+				sched.PerPhase[i] = c
+			}
+		}
+	}
+	// Dynamic GME with reconfiguration charged when the config changes.
+	dyn := make([]float64, len(phases))
+	for i, ph := range phases {
+		var extra int64
+		if i > 0 {
+			extra = reconfig(sched.PerPhase[i-1], sched.PerPhase[i])
+		}
+		m, err := metric(ph, sched.PerPhase[i], extra)
+		if err != nil {
+			return nil, err
+		}
+		dyn[i] = m
+	}
+	sched.DynGME = GME(dyn)
+	// Static best: single config maximizing the GME across phases.
+	bestStatic := math.Inf(-1)
+	for _, c := range sortConfigs(configs) {
+		vals := make([]float64, len(phases))
+		ok := true
+		for i, ph := range phases {
+			m, err := metric(ph, c, 0)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[i] = m
+		}
+		if !ok {
+			continue
+		}
+		if g := GME(vals); g > bestStatic {
+			bestStatic = g
+			sched.StaticBest = c
+		}
+	}
+	sched.StaticGME = bestStatic
+	if sched.StaticGME > 0 {
+		sched.Gain = sched.DynGME/sched.StaticGME - 1
+	}
+	return sched, nil
+}
+
+func sortConfigs(cs []Config) []Config {
+	out := append([]Config(nil), cs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.Slices < b.Slices || (a.Slices == b.Slices && a.CacheKB <= b.CacheKB) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}

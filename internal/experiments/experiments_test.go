@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sharing/internal/econ"
+)
+
+// tiny returns a Runner fast enough for unit tests.
+func tiny(t *testing.T) *Runner {
+	t.Helper()
+	r := NewRunner()
+	r.TraceLen = 8000
+	r.Seed = 7
+	return r
+}
+
+func TestMeasureMemoizes(t *testing.T) {
+	r := tiny(t)
+	var runs int32
+	r.Progress = func(string) { atomic.AddInt32(&runs, 1) }
+	cfg := econ.Config{Slices: 2, CacheKB: 128}
+	a, err := r.Measure("astar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Measure("astar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("memoized result differs")
+	}
+	if atomic.LoadInt32(&runs) != 1 {
+		t.Fatalf("simulation ran %d times, want 1", runs)
+	}
+}
+
+func TestGridAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "res", "perf.json")
+	r := tiny(t)
+	r.ResultsPath = path
+	if err := r.Load(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Grid("swaptions", []int{1, 2}, []int{0, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 4 {
+		t.Fatalf("grid has %d points", len(g))
+	}
+	for cfg, ipc := range g {
+		if ipc <= 0 {
+			t.Fatalf("%v: ipc %f", cfg, ipc)
+		}
+	}
+	if err := r.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("results file not written:", err)
+	}
+
+	// A fresh runner must reload the results and not simulate again.
+	r2 := NewRunner()
+	r2.TraceLen, r2.Seed, r2.ResultsPath = 8000, 7, path
+	var runs int32
+	r2.Progress = func(string) { atomic.AddInt32(&runs, 1) }
+	if err := r2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := r2.Grid("swaptions", []int{1, 2}, []int{0, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&runs) != 0 {
+		t.Fatalf("persisted results ignored: %d fresh runs", runs)
+	}
+	for cfg := range g {
+		if g[cfg] != g2[cfg] {
+			t.Fatalf("%v: %f != %f after reload", cfg, g[cfg], g2[cfg])
+		}
+	}
+}
+
+func TestLoadRejectsCorruptResults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "perf.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := tiny(t)
+	r.ResultsPath = path
+	if err := r.Load(); err == nil {
+		t.Fatal("corrupt results file accepted")
+	}
+}
+
+func TestFig12SmallGrid(t *testing.T) {
+	r := tiny(t)
+	data, err := Fig12(r, []string{"hmmer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1 || len(data[0].Speedup) != len(StdSlices) {
+		t.Fatalf("shape: %+v", data)
+	}
+	if data[0].Speedup[0] != 1.0 {
+		t.Fatalf("normalization wrong: %f", data[0].Speedup[0])
+	}
+}
+
+func TestTable7PhasesDiffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several phase simulations")
+	}
+	r := tiny(t)
+	r.TraceLen = 12000
+	tables, err := Table7(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d metrics", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Schedule.PerPhase) != 10 {
+			t.Fatalf("k=%d: %d phases", tb.K, len(tb.Schedule.PerPhase))
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Title", []string{"a", "bench"}, [][]string{{"x", "1.00"}, {"longer", "2.00"}})
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "longer") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestMeasurementIPC(t *testing.T) {
+	if (Measurement{Cycles: 0}).IPC() != 0 {
+		t.Fatal("zero cycles")
+	}
+	if (Measurement{Cycles: 10, Insts: 5}).IPC() != 0.5 {
+		t.Fatal("ipc math")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := key{Bench: "gcc", Slices: 2, CacheKB: 128, N: 100, Seed: 1, Phase: -1}
+	if !strings.Contains(k.String(), "gcc/s2/c128") {
+		t.Fatalf("key = %s", k.String())
+	}
+}

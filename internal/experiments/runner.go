@@ -1,0 +1,312 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5). A Runner measures P(c,s) performance grids with SSim —
+// in parallel, memoized, and optionally persisted to a JSON results file so
+// that regenerating one table does not rerun the whole sweep — and the
+// drivers in figures.go turn those measurements into the paper's tables and
+// figures via the economic model.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sharing/internal/econ"
+	"sharing/internal/sim"
+	"sharing/internal/trace"
+	"sharing/internal/workload"
+)
+
+// DefaultTraceLen is the dynamic instruction count per thread used by the
+// official experiment runs: long enough for the multi-megabyte scan working
+// sets to establish reuse (several laps).
+const DefaultTraceLen = 500_000
+
+// DefaultSeed fixes the workload seed for reproducibility.
+const DefaultSeed = 2014 // ASPLOS year
+
+// StdSlices and StdCaches form the configuration grid used across the
+// evaluation (Equation 3: 1..8 Slices, 0..8 MB of L2).
+var (
+	StdSlices = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	StdCaches = []int{0, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+)
+
+// Measurement is one simulation outcome.
+type Measurement struct {
+	Cycles int64  `json:"cycles"`
+	Insts  uint64 `json:"insts"`
+}
+
+// IPC returns instructions per cycle.
+func (m Measurement) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Insts) / float64(m.Cycles)
+}
+
+// key identifies one measurement.
+type key struct {
+	Bench   string `json:"bench"`
+	Slices  int    `json:"slices"`
+	CacheKB int    `json:"cacheKB"`
+	N       int    `json:"n"`
+	Seed    int64  `json:"seed"`
+	Phase   int    `json:"phase"` // -1 = whole benchmark
+	OpNetW  int    `json:"opnetw"`
+}
+
+func (k key) String() string {
+	return fmt.Sprintf("%s/s%d/c%d/n%d/seed%d/ph%d/w%d", k.Bench, k.Slices, k.CacheKB, k.N, k.Seed, k.Phase, k.OpNetW)
+}
+
+// Runner measures performance grids.
+type Runner struct {
+	// TraceLen is instructions per thread (DefaultTraceLen if 0).
+	TraceLen int
+	// Seed seeds workload generation (DefaultSeed if 0).
+	Seed int64
+	// Workers bounds parallel simulations (NumCPU if 0).
+	Workers int
+	// ResultsPath, when set, persists measurements as JSON across runs.
+	ResultsPath string
+	// Progress, when set, receives one line per completed measurement.
+	Progress func(string)
+
+	mu    sync.Mutex
+	cache map[string]Measurement
+	dirty bool
+
+	traceMu sync.Mutex
+	traceK  key
+	traceV  *trace.MultiTrace
+}
+
+// NewRunner builds a Runner with defaults.
+func NewRunner() *Runner {
+	return &Runner{cache: make(map[string]Measurement)}
+}
+
+// EffectiveTraceLen returns the instruction count per thread in use.
+func (r *Runner) EffectiveTraceLen() int { return r.traceLen() }
+
+func (r *Runner) traceLen() int {
+	if r.TraceLen <= 0 {
+		return DefaultTraceLen
+	}
+	return r.TraceLen
+}
+
+func (r *Runner) seed() int64 {
+	if r.Seed == 0 {
+		return DefaultSeed
+	}
+	return r.Seed
+}
+
+func (r *Runner) workers() int {
+	if r.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return r.Workers
+}
+
+// Load reads the persisted results file, if configured and present.
+func (r *Runner) Load() error {
+	if r.ResultsPath == "" {
+		return nil
+	}
+	b, err := os.ReadFile(r.ResultsPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[string]Measurement)
+	}
+	return json.Unmarshal(b, &r.cache)
+}
+
+// Save writes the results cache if it changed.
+func (r *Runner) Save() error {
+	if r.ResultsPath == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.dirty {
+		return nil
+	}
+	if dir := filepath.Dir(r.ResultsPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(r.cache, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(r.ResultsPath, b, 0o644); err != nil {
+		return err
+	}
+	r.dirty = false
+	return nil
+}
+
+// traceFor returns (generating and memoizing one at a time) the trace for a
+// benchmark or a single phase of it.
+func (r *Runner) traceFor(bench string, phase int) (*trace.MultiTrace, error) {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	k := key{Bench: bench, N: r.traceLen(), Seed: r.seed(), Phase: phase}
+	if r.traceV != nil && r.traceK == k {
+		return r.traceV, nil
+	}
+	prof, err := workload.Lookup(bench)
+	if err != nil {
+		return nil, err
+	}
+	var mt *trace.MultiTrace
+	if phase < 0 {
+		mt, err = prof.Generate(r.traceLen(), r.seed())
+	} else {
+		var tr *trace.Trace
+		tr, err = prof.GeneratePhase(phase, r.traceLen(), r.seed())
+		if err == nil {
+			mt = trace.Single(tr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.traceK, r.traceV = k, mt
+	return mt, nil
+}
+
+// measure runs (or recalls) one simulation.
+func (r *Runner) measure(k key) (Measurement, error) {
+	ks := k.String()
+	r.mu.Lock()
+	if m, ok := r.cache[ks]; ok {
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+	mt, err := r.traceFor(k.Bench, k.Phase)
+	if err != nil {
+		return Measurement{}, err
+	}
+	p := sim.DefaultParams(k.Slices, k.CacheKB)
+	if k.OpNetW > 0 {
+		p.OperandNetWidth = k.OpNetW
+	}
+	res, err := sim.Run(p, mt)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("experiments: %s: %w", ks, err)
+	}
+	m := Measurement{Cycles: res.Cycles, Insts: res.Instructions}
+	r.mu.Lock()
+	r.cache[ks] = m
+	r.dirty = true
+	r.mu.Unlock()
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("%s: cycles=%d ipc=%.3f", ks, m.Cycles, m.IPC()))
+	}
+	return m, nil
+}
+
+// Measure returns the measurement for one benchmark and configuration.
+func (r *Runner) Measure(bench string, cfg econ.Config) (Measurement, error) {
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1})
+}
+
+// MeasurePhase returns the measurement for one phase of a benchmark.
+func (r *Runner) MeasurePhase(bench string, phase int, cfg econ.Config) (Measurement, error) {
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase})
+}
+
+// MeasureOpNet measures with an explicit operand-network width (ablation).
+func (r *Runner) MeasureOpNet(bench string, cfg econ.Config, width int) (Measurement, error) {
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1, OpNetW: width})
+}
+
+// Grid measures a benchmark over the given configuration grid, fanning the
+// runs across workers. Performance is IPC.
+func (r *Runner) Grid(bench string, slices, caches []int) (econ.Grid, error) {
+	return r.gridPhase(bench, -1, slices, caches)
+}
+
+// GridPhase is Grid for a single phase.
+func (r *Runner) GridPhase(bench string, phase int, slices, caches []int) (econ.Grid, error) {
+	return r.gridPhase(bench, phase, slices, caches)
+}
+
+func (r *Runner) gridPhase(bench string, phase int, slices, caches []int) (econ.Grid, error) {
+	// Pre-generate the trace once so workers share it.
+	if _, err := r.traceFor(bench, phase); err != nil {
+		return nil, err
+	}
+	type job struct{ cfg econ.Config }
+	jobs := make([]job, 0, len(slices)*len(caches))
+	for _, s := range slices {
+		for _, c := range caches {
+			jobs = append(jobs, job{cfg: econ.Config{Slices: s, CacheKB: c}})
+		}
+	}
+	g := make(econ.Grid, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, r.workers())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(cfg econ.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			g[cfg] = m.IPC()
+		}(j.cfg)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g, nil
+}
+
+// SuiteGrids measures grids for the named benchmarks (all benchmarks when
+// names is empty).
+func (r *Runner) SuiteGrids(names []string, slices, caches []int) (econ.Suite, error) {
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	sort.Strings(names)
+	s := make(econ.Suite, len(names))
+	for _, n := range names {
+		g, err := r.Grid(n, slices, caches)
+		if err != nil {
+			return nil, err
+		}
+		s[n] = g
+		if err := r.Save(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

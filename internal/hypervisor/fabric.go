@@ -1,0 +1,212 @@
+// Package hypervisor manages the Sharing Architecture fabric: the 2-D grid
+// of Slice and cache-bank tiles, allocation of contiguous Slice runs and
+// cache banks to Virtual Cores and Virtual Machines, and the reconfiguration
+// cost model (§3.8 and Table 7 of the paper).
+//
+// The paper's hypervisor runs on single-Slice VCores and reconfigures
+// protection registers and interconnect state; here we model its resource-
+// management decisions: where VCores live, which banks they get, and what a
+// reconfiguration costs.
+package hypervisor
+
+import (
+	"fmt"
+
+	"sharing/internal/cache"
+	"sharing/internal/noc"
+)
+
+// Reconfiguration costs (Table 7): changing a VCore's L2 allocation requires
+// flushing dirty bank state (10,000 cycles); changing only the Slice count
+// requires a register flush over the operand network (500 cycles).
+const (
+	ReconfigCacheCycles = 10000
+	ReconfigSliceCycles = 500
+)
+
+// BankKB is the size of one L2 cache bank (§3.5: 64 KB banks).
+const BankKB = 64
+
+// DefaultBankConfig is the 64 KB 4-way bank tag configuration (Table 3).
+func DefaultBankConfig() cache.Config {
+	return cache.Config{SizeBytes: BankKB << 10, LineSize: 64, Ways: 4}
+}
+
+// Fabric is the chip: a W x H tile grid. Even columns hold Slices, odd
+// columns hold cache banks, so every Slice neighbours banks and the
+// "sea of Slices / sea of banks" of Fig. 3 is preserved.
+type Fabric struct {
+	W, H int
+
+	sliceUsed map[noc.Coord]bool
+	bankUsed  map[noc.Coord]*cache.Bank
+	bankCfg   cache.Config
+	nextBank  int
+}
+
+// NewFabric builds an empty fabric. Dimensions must be positive and W even.
+func NewFabric(w, h int) (*Fabric, error) {
+	if w < 2 || h < 1 || w%2 != 0 {
+		return nil, fmt.Errorf("hypervisor: invalid fabric %dx%d (need even W >= 2, H >= 1)", w, h)
+	}
+	return &Fabric{
+		W: w, H: h,
+		sliceUsed: make(map[noc.Coord]bool),
+		bankUsed:  make(map[noc.Coord]*cache.Bank),
+		bankCfg:   DefaultBankConfig(),
+	}, nil
+}
+
+// DefaultFabric returns the default 64x32 fabric: 1024 Slice tiles and 1024
+// bank tiles (64 MB of L2), comfortably the "100's of Slices and Cache
+// Banks" full chip of §3.
+func DefaultFabric() *Fabric {
+	f, err := NewFabric(64, 32)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// IsSliceTile reports whether c is a Slice tile.
+func (f *Fabric) IsSliceTile(c noc.Coord) bool { return c.X%2 == 0 }
+
+// NumSliceTiles returns the total Slice tile count.
+func (f *Fabric) NumSliceTiles() int { return f.W / 2 * f.H }
+
+// NumBankTiles returns the total bank tile count.
+func (f *Fabric) NumBankTiles() int { return f.W / 2 * f.H }
+
+// FreeSlices returns the number of unallocated Slice tiles.
+func (f *Fabric) FreeSlices() int { return f.NumSliceTiles() - len(f.sliceUsed) }
+
+// FreeBanks returns the number of unallocated bank tiles.
+func (f *Fabric) FreeBanks() int { return f.NumBankTiles() - len(f.bankUsed) }
+
+// AllocSlices allocates n contiguous Slice tiles (a vertical run within one
+// Slice column, satisfying the paper's contiguity requirement for the
+// Slices of a VCore) and returns their coordinates in order.
+func (f *Fabric) AllocSlices(n int) ([]noc.Coord, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hypervisor: invalid slice count %d", n)
+	}
+	if n > f.H {
+		return nil, fmt.Errorf("hypervisor: VCore of %d Slices exceeds column height %d", n, f.H)
+	}
+	for x := 0; x < f.W; x += 2 {
+		run := 0
+		for y := 0; y < f.H; y++ {
+			if f.sliceUsed[noc.Coord{X: x, Y: y}] {
+				run = 0
+				continue
+			}
+			run++
+			if run == n {
+				out := make([]noc.Coord, 0, n)
+				for yy := y - n + 1; yy <= y; yy++ {
+					c := noc.Coord{X: x, Y: yy}
+					f.sliceUsed[c] = true
+					out = append(out, c)
+				}
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("hypervisor: no contiguous run of %d free Slices", n)
+}
+
+// AllocBanks allocates n cache banks around anchor following the paper's
+// distance model: each additional 256 KB of cache (four 64 KB banks) sits
+// one network hop further out, which yields the "+2 cycles per additional
+// 256 KB" latency growth of §5.4. Bank j targets Manhattan distance
+// 1 + j/4 from the anchor; the nearest free bank tile at or beyond the
+// target distance is used.
+func (f *Fabric) AllocBanks(n int, anchor noc.Coord) ([]*cache.Bank, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hypervisor: invalid bank count %d", n)
+	}
+	if n > f.FreeBanks() {
+		return nil, fmt.Errorf("hypervisor: %d banks requested, %d free", n, f.FreeBanks())
+	}
+	out := make([]*cache.Bank, 0, n)
+	for j := 0; j < n; j++ {
+		target := 1 + j/4
+		c, ok := f.freeBankAtLeast(anchor, target)
+		if !ok {
+			// Roll back this allocation.
+			for _, b := range out {
+				delete(f.bankUsed, b.Pos)
+			}
+			return nil, fmt.Errorf("hypervisor: no free bank tile at distance >= %d from %v", target, anchor)
+		}
+		b := cache.NewBank(f.nextBank, c, f.bankCfg)
+		f.nextBank++
+		f.bankUsed[c] = b
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// freeBankAtLeast finds the free bank tile nearest to anchor with Manhattan
+// distance >= d. Scanning order is deterministic (distance, then Y, then X).
+func (f *Fabric) freeBankAtLeast(anchor noc.Coord, d int) (noc.Coord, bool) {
+	maxD := f.W + f.H
+	for dist := d; dist <= maxD; dist++ {
+		for y := 0; y < f.H; y++ {
+			dy := y - anchor.Y
+			if dy < 0 {
+				dy = -dy
+			}
+			dx := dist - dy
+			if dx < 0 {
+				continue
+			}
+			for _, x := range [2]int{anchor.X - dx, anchor.X + dx} {
+				if x < 0 || x >= f.W || x%2 == 0 {
+					continue
+				}
+				c := noc.Coord{X: x, Y: y}
+				if _, used := f.bankUsed[c]; !used {
+					return c, true
+				}
+				if dx == 0 {
+					break // avoid testing the same tile twice
+				}
+			}
+		}
+	}
+	return noc.Coord{}, false
+}
+
+// ReleaseSlices frees Slice tiles.
+func (f *Fabric) ReleaseSlices(coords []noc.Coord) {
+	for _, c := range coords {
+		delete(f.sliceUsed, c)
+	}
+}
+
+// ReleaseBanks frees bank tiles, flushing each bank's dirty state (as §3.8
+// requires before reassignment) and returning the number of flushed dirty
+// lines for accounting.
+func (f *Fabric) ReleaseBanks(banks []*cache.Bank) int {
+	dirty := 0
+	for _, b := range banks {
+		dirty += b.Flush()
+		delete(f.bankUsed, b.Pos)
+	}
+	return dirty
+}
+
+// ReconfigCost returns the hypervisor's reconfiguration penalty in cycles
+// for moving between two VCore configurations (Table 7): a cache change
+// forces an L2 flush; a Slice-only change needs just a register flush.
+func ReconfigCost(oldCacheKB, newCacheKB, oldSlices, newSlices int) int64 {
+	switch {
+	case oldCacheKB != newCacheKB:
+		return ReconfigCacheCycles
+	case oldSlices != newSlices:
+		return ReconfigSliceCycles
+	default:
+		return 0
+	}
+}

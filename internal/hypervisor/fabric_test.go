@@ -1,0 +1,175 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"sharing/internal/noc"
+)
+
+func TestNewFabricValidation(t *testing.T) {
+	if _, err := NewFabric(3, 4); err == nil {
+		t.Fatal("odd width accepted")
+	}
+	if _, err := NewFabric(0, 4); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	f, err := NewFabric(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumSliceTiles() != 16 || f.NumBankTiles() != 16 {
+		t.Fatalf("tile counts %d/%d", f.NumSliceTiles(), f.NumBankTiles())
+	}
+}
+
+func TestAllocSlicesContiguity(t *testing.T) {
+	f, _ := NewFabric(8, 8)
+	got, err := f.AllocSlices(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("allocated %d slices", len(got))
+	}
+	// Contiguous vertical run in one Slice column (even X), per §3.
+	for i, c := range got {
+		if !f.IsSliceTile(c) {
+			t.Fatalf("coord %v is not a slice tile", c)
+		}
+		if i > 0 && (c.X != got[0].X || c.Y != got[i-1].Y+1) {
+			t.Fatalf("slices not contiguous: %v", got)
+		}
+	}
+	if f.FreeSlices() != f.NumSliceTiles()-5 {
+		t.Fatalf("free slices = %d", f.FreeSlices())
+	}
+}
+
+func TestAllocSlicesExhaustion(t *testing.T) {
+	f, _ := NewFabric(4, 4) // 8 slice tiles, columns of height 4
+	if _, err := f.AllocSlices(5); err == nil {
+		t.Fatal("run longer than a column accepted")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.AllocSlices(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.AllocSlices(1); err == nil {
+		t.Fatal("exhausted fabric accepted allocation")
+	}
+}
+
+func TestAllocSlicesFragmentation(t *testing.T) {
+	f, _ := NewFabric(4, 8)
+	a, _ := f.AllocSlices(3)
+	b, _ := f.AllocSlices(3)
+	// Free the first run; a new 3-run must fit back in the hole.
+	f.ReleaseSlices(a)
+	c, err := f.AllocSlices(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+	if c[0] != a[0] {
+		t.Fatalf("hole not reused: %v vs %v", c[0], a[0])
+	}
+}
+
+func TestAllocBanksRingModel(t *testing.T) {
+	f := DefaultFabric()
+	anchor := noc.Coord{X: 32, Y: 16}
+	banks, err := f.AllocBanks(16, anchor) // 1 MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bank j targets distance 1 + j/4 (four banks per 256 KB ring): the
+	// paper's "+2 cycles per additional 256 KB" latency model.
+	for j, b := range banks {
+		want := 1 + j/4
+		got := noc.Manhattan(anchor, b.Pos)
+		if got < want {
+			t.Fatalf("bank %d at distance %d, want >= %d", j, got, want)
+		}
+		if got > want+2 {
+			t.Fatalf("bank %d at distance %d, far beyond ring %d", j, got, want)
+		}
+		if b.Pos.X%2 == 0 {
+			t.Fatalf("bank %d on a slice tile %v", j, b.Pos)
+		}
+	}
+	if f.FreeBanks() != f.NumBankTiles()-16 {
+		t.Fatalf("free banks = %d", f.FreeBanks())
+	}
+}
+
+func TestAllocBanksRollbackOnFailure(t *testing.T) {
+	f, _ := NewFabric(4, 2) // 4 bank tiles
+	free := f.FreeBanks()
+	if _, err := f.AllocBanks(5, noc.Coord{X: 0, Y: 0}); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if f.FreeBanks() != free {
+		t.Fatal("failed allocation leaked banks")
+	}
+}
+
+func TestReleaseBanksFlushes(t *testing.T) {
+	f, _ := NewFabric(8, 8)
+	banks, _ := f.AllocBanks(2, noc.Coord{X: 2, Y: 2})
+	banks[0].Tags.Fill(0x40, true)
+	banks[0].Tags.Fill(0x80, false)
+	if dirty := f.ReleaseBanks(banks); dirty != 1 {
+		t.Fatalf("flushed %d dirty lines, want 1", dirty)
+	}
+	if f.FreeBanks() != f.NumBankTiles() {
+		t.Fatal("banks not released")
+	}
+}
+
+func TestAllocVM(t *testing.T) {
+	f := DefaultFabric()
+	vm, err := f.AllocVM(4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.VCores) != 4 || vm.TotalSlices() != 8 || vm.CacheKB() != 512 {
+		t.Fatalf("vm shape: %d vcores, %d slices, %d KB", len(vm.VCores), vm.TotalSlices(), vm.CacheKB())
+	}
+	f.ReleaseVM(vm)
+	if f.FreeSlices() != f.NumSliceTiles() || f.FreeBanks() != f.NumBankTiles() {
+		t.Fatal("VM release incomplete")
+	}
+	if _, err := f.AllocVM(0, 1, 0); err == nil {
+		t.Fatal("zero-VCore VM accepted")
+	}
+}
+
+func TestAllocVMRollback(t *testing.T) {
+	f, _ := NewFabric(4, 4)
+	free := f.FreeSlices()
+	if _, err := f.AllocVM(1, 2, 100); err == nil {
+		t.Fatal("impossible bank demand accepted")
+	}
+	if f.FreeSlices() != free {
+		t.Fatal("failed VM allocation leaked slices")
+	}
+}
+
+func TestReconfigCost(t *testing.T) {
+	cases := []struct {
+		oc, nc, os, ns int
+		want           int64
+	}{
+		{128, 128, 2, 2, 0},
+		{128, 128, 2, 4, ReconfigSliceCycles},
+		{128, 256, 2, 2, ReconfigCacheCycles},
+		{128, 256, 2, 4, ReconfigCacheCycles}, // cache change dominates
+	}
+	for _, c := range cases {
+		if got := ReconfigCost(c.oc, c.nc, c.os, c.ns); got != c.want {
+			t.Errorf("ReconfigCost(%d->%d KB, %d->%d slices) = %d, want %d",
+				c.oc, c.nc, c.os, c.ns, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package hypervisor
+
+import "testing"
+
+func TestSchedulerPlaceAndExpire(t *testing.T) {
+	f, _ := NewFabric(8, 8) // 32 slice tiles
+	s := NewScheduler(f)
+	if err := s.Place(Request{ID: 1, VCores: 2, SlicesPer: 4, Banks: 4, End: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(Request{ID: 2, VCores: 1, SlicesPer: 8, Banks: 0, End: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Running() != 2 {
+		t.Fatalf("running = %d", s.Running())
+	}
+	if err := s.Advance(60); err != nil {
+		t.Fatal(err)
+	}
+	if s.Running() != 1 {
+		t.Fatal("VM 2 should have expired at 50")
+	}
+	// Slice-time: VM1 8 slices x 60 + VM2 8 slices x 50.
+	if want := int64(8*60 + 8*50); s.Stats.SliceTime != want {
+		t.Fatalf("slice time %d, want %d", s.Stats.SliceTime, want)
+	}
+	if err := s.Advance(200); err != nil {
+		t.Fatal(err)
+	}
+	if s.Running() != 0 || f.FreeSlices() != f.NumSliceTiles() {
+		t.Fatal("expiry did not release resources")
+	}
+	if err := s.Advance(100); err == nil {
+		t.Fatal("time moved backwards")
+	}
+}
+
+func TestSchedulerRejectsDuplicatesAndOverload(t *testing.T) {
+	f, _ := NewFabric(4, 4) // 8 slice tiles
+	s := NewScheduler(f)
+	if err := s.Place(Request{ID: 1, VCores: 1, SlicesPer: 4, Banks: 0, End: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(Request{ID: 1, VCores: 1, SlicesPer: 1, Banks: 0, End: 10}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if err := s.Place(Request{ID: 2, VCores: 3, SlicesPer: 4, Banks: 0, End: 10}); err == nil {
+		t.Fatal("overload accepted")
+	}
+	if s.Stats.Rejected != 1 {
+		t.Fatalf("rejected = %d", s.Stats.Rejected)
+	}
+	if err := s.Place(Request{ID: 3, VCores: 1, SlicesPer: 1, Banks: 0, End: 0}); err == nil {
+		t.Fatal("already-expired lease accepted")
+	}
+}
+
+func TestSchedulerCompactsFragmentation(t *testing.T) {
+	// Column height 4: place 4 two-slice VMs per column pattern, release
+	// alternating ones so each column keeps a 2-slice hole, then ask for a
+	// 4-slice VCore: only compaction can make a contiguous run.
+	f, _ := NewFabric(4, 4) // two slice columns of height 4 = 8 slices
+	s := NewScheduler(f)
+	for i := 0; i < 4; i++ {
+		end := int64(100)
+		if i%2 == 0 {
+			end = 10
+		}
+		if err := s.Place(Request{ID: i, VCores: 1, SlicesPer: 2, Banks: 0, End: end}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Advance(20); err != nil { // VMs 0 and 2 expire, leaving holes
+		t.Fatal(err)
+	}
+	if f.FreeSlices() != 4 {
+		t.Fatalf("free slices = %d", f.FreeSlices())
+	}
+	// A 4-slice VCore needs a full column; the two survivors occupy one
+	// 2-run in each column, so direct placement fails.
+	if err := s.Place(Request{ID: 10, VCores: 1, SlicesPer: 4, Banks: 0, End: 100}); err != nil {
+		t.Fatalf("compaction should have made room: %v", err)
+	}
+	if s.Stats.Compactions != 1 {
+		t.Fatalf("compactions = %d", s.Stats.Compactions)
+	}
+	if s.Stats.MovedVCores == 0 || s.Stats.MoveCycles == 0 {
+		t.Fatal("compaction moved nothing yet succeeded?")
+	}
+	if s.Running() != 3 {
+		t.Fatalf("running = %d", s.Running())
+	}
+}
+
+func TestSchedulerNoCompactionWhenDirectFitExists(t *testing.T) {
+	f, _ := NewFabric(8, 8)
+	s := NewScheduler(f)
+	for i := 0; i < 4; i++ {
+		if err := s.Place(Request{ID: i, VCores: 1, SlicesPer: 4, Banks: 2, End: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats.Compactions != 0 {
+		t.Fatal("needless compaction")
+	}
+	if s.Stats.Placed != 4 {
+		t.Fatalf("placed = %d", s.Stats.Placed)
+	}
+}

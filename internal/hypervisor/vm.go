@@ -1,0 +1,76 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"sharing/internal/cache"
+	"sharing/internal/noc"
+)
+
+// VCoreAlloc is the fabric placement of one Virtual Core.
+type VCoreAlloc struct {
+	Slices []noc.Coord
+}
+
+// VMAlloc is the fabric placement of one Virtual Machine: one or more
+// VCores plus a shared set of L2 banks (the paper's evaluated design puts
+// the coherence point between L1 and L2, giving each VM a shared L2, §3.5).
+type VMAlloc struct {
+	VCores []VCoreAlloc
+	Banks  []*cache.Bank
+}
+
+// TotalSlices returns the number of Slice tiles held by the VM.
+func (vm *VMAlloc) TotalSlices() int {
+	n := 0
+	for _, vc := range vm.VCores {
+		n += len(vc.Slices)
+	}
+	return n
+}
+
+// CacheKB returns the VM's total L2 capacity in KB.
+func (vm *VMAlloc) CacheKB() int { return len(vm.Banks) * BankKB }
+
+// AllocVM places a VM with nVCores VCores of slicesPer Slices each and
+// banks shared L2 banks. Banks are placed around the VM's Slice centroid.
+func (f *Fabric) AllocVM(nVCores, slicesPer, banks int) (*VMAlloc, error) {
+	if nVCores < 1 {
+		return nil, fmt.Errorf("hypervisor: VM needs at least one VCore")
+	}
+	vm := &VMAlloc{}
+	for i := 0; i < nVCores; i++ {
+		sl, err := f.AllocSlices(slicesPer)
+		if err != nil {
+			f.ReleaseVM(vm)
+			return nil, fmt.Errorf("hypervisor: VCore %d: %w", i, err)
+		}
+		vm.VCores = append(vm.VCores, VCoreAlloc{Slices: sl})
+	}
+	var cx, cy, n int
+	for _, vc := range vm.VCores {
+		for _, c := range vc.Slices {
+			cx += c.X
+			cy += c.Y
+			n++
+		}
+	}
+	anchor := noc.Coord{X: cx / n, Y: cy / n}
+	bs, err := f.AllocBanks(banks, anchor)
+	if err != nil {
+		f.ReleaseVM(vm)
+		return nil, err
+	}
+	vm.Banks = bs
+	return vm, nil
+}
+
+// ReleaseVM frees everything the VM holds.
+func (f *Fabric) ReleaseVM(vm *VMAlloc) {
+	for _, vc := range vm.VCores {
+		f.ReleaseSlices(vc.Slices)
+	}
+	f.ReleaseBanks(vm.Banks)
+	vm.VCores = nil
+	vm.Banks = nil
+}

@@ -1,0 +1,142 @@
+package isa
+
+import "fmt"
+
+// ArchState is the architectural state of one hardware thread: the register
+// file and a sparse 64-bit word memory image. It is the "golden" state that
+// both the reference interpreter and the out-of-order timing model must
+// agree on.
+type ArchState struct {
+	Regs [NumArchRegs]uint64
+	// Mem maps word-aligned byte addresses to 64-bit values. Absent entries
+	// read as zero.
+	Mem map[uint64]uint64
+}
+
+// NewArchState returns an empty architectural state.
+func NewArchState() *ArchState {
+	return &ArchState{Mem: make(map[uint64]uint64)}
+}
+
+// Clone returns a deep copy of s.
+func (s *ArchState) Clone() *ArchState {
+	c := &ArchState{Regs: s.Regs, Mem: make(map[uint64]uint64, len(s.Mem))}
+	for k, v := range s.Mem {
+		c.Mem[k] = v
+	}
+	return c
+}
+
+// ReadMem returns the word stored at the word-aligned address of addr.
+func (s *ArchState) ReadMem(addr uint64) uint64 { return s.Mem[addr&^7] }
+
+// WriteMem stores v at the word-aligned address of addr.
+func (s *ArchState) WriteMem(addr, v uint64) { s.Mem[addr&^7] = v }
+
+// Equal reports whether two architectural states are identical, treating
+// missing memory entries as zero.
+func (s *ArchState) Equal(o *ArchState) bool {
+	if s.Regs != o.Regs {
+		return false
+	}
+	for k, v := range s.Mem {
+		if o.Mem[k] != v {
+			return false
+		}
+	}
+	for k, v := range o.Mem {
+		if s.Mem[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a short description of the first difference between two
+// states, or "" if they are equal. It exists to make golden-model test
+// failures actionable.
+func (s *ArchState) Diff(o *ArchState) string {
+	for r := 0; r < NumArchRegs; r++ {
+		if s.Regs[r] != o.Regs[r] {
+			return fmt.Sprintf("r%d: %#x vs %#x", r, s.Regs[r], o.Regs[r])
+		}
+	}
+	seen := make(map[uint64]bool, len(s.Mem))
+	for k, v := range s.Mem {
+		seen[k] = true
+		if o.Mem[k] != v {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", k, v, o.Mem[k])
+		}
+	}
+	for k, v := range o.Mem {
+		if !seen[k] && v != 0 {
+			return fmt.Sprintf("mem[%#x]: 0 vs %#x", k, v)
+		}
+	}
+	return ""
+}
+
+// Interp is the in-order functional reference interpreter. It executes a
+// trace one instruction at a time with no timing model; its final ArchState
+// is the correctness oracle for the cycle-level simulator.
+type Interp struct {
+	State *ArchState
+	// Executed counts retired instructions.
+	Executed uint64
+}
+
+// NewInterp returns an interpreter over a fresh architectural state.
+func NewInterp() *Interp { return &Interp{State: NewArchState()} }
+
+// Step executes one instruction, updating architectural state. It validates
+// the trace's own consistency: a conditional branch's recorded direction must
+// match the value-level condition. This guards the workload generator.
+func (in *Interp) Step(i Inst) error {
+	s := in.State
+	read := func(r Reg) uint64 {
+		if r == Zero {
+			return 0
+		}
+		return s.Regs[r]
+	}
+	write := func(r Reg, v uint64) {
+		if r != Zero {
+			s.Regs[r] = v
+		}
+	}
+	switch i.Op {
+	case OpNop:
+	case OpLoad:
+		if want := read(i.Src1) + uint64(i.Imm); want != i.Addr {
+			return fmt.Errorf("isa: inconsistent trace at %v: computed address %#x, recorded %#x", i, want, i.Addr)
+		}
+		write(i.Dest, s.ReadMem(i.Addr))
+	case OpStore:
+		if want := read(i.Src1) + uint64(i.Imm); want != i.Addr {
+			return fmt.Errorf("isa: inconsistent trace at %v: computed address %#x, recorded %#x", i, want, i.Addr)
+		}
+		s.WriteMem(i.Addr, read(i.Src2))
+	case OpBr:
+		if got := BranchTaken(read(i.Src1), read(i.Src2)); got != i.Taken {
+			return fmt.Errorf("isa: inconsistent trace at %v: condition %v, recorded taken=%v", i, got, i.Taken)
+		}
+	case OpJmp:
+	default:
+		if !i.Op.Valid() {
+			return fmt.Errorf("isa: invalid opcode %d at pc %#x", i.Op, i.PC)
+		}
+		write(i.Dest, i.Eval(read(i.Src1), read(i.Src2)))
+	}
+	in.Executed++
+	return nil
+}
+
+// Run executes every instruction in insts, stopping at the first error.
+func (in *Interp) Run(insts []Inst) error {
+	for idx := range insts {
+		if err := in.Step(insts[idx]); err != nil {
+			return fmt.Errorf("at index %d: %w", idx, err)
+		}
+	}
+	return nil
+}

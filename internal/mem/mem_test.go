@@ -1,0 +1,45 @@
+package mem
+
+import "testing"
+
+func TestFixedLatency(t *testing.T) {
+	m := New(Config{Latency: 100})
+	if got := m.Access(10, false); got != 110 {
+		t.Fatalf("completion = %d, want 110", got)
+	}
+	if m.Reads != 1 || m.Writes != 0 {
+		t.Fatalf("counters %d/%d", m.Reads, m.Writes)
+	}
+	m.Access(10, true)
+	if m.Writes != 1 {
+		t.Fatal("write not counted")
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	m := New(Config{Latency: 100, RequestsPerCycle: 2})
+	a := m.Access(5, false)
+	b := m.Access(5, false)
+	c := m.Access(5, false)
+	if a != 105 || b != 105 || c != 106 {
+		t.Fatalf("completions %d,%d,%d; want 105,105,106", a, b, c)
+	}
+}
+
+func TestOutOfOrderRequests(t *testing.T) {
+	// A request scheduled for the future must not delay a present one.
+	m := New(Config{Latency: 100, RequestsPerCycle: 1})
+	if got := m.Access(1000, true); got != 1100 {
+		t.Fatalf("future write at %d", got)
+	}
+	if got := m.Access(3, false); got != 103 {
+		t.Fatalf("present read delayed to %d", got)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.Latency != 100 {
+		t.Fatalf("default memory delay %d, want 100 (Table 2)", c.Latency)
+	}
+}

@@ -1,0 +1,60 @@
+package noc
+
+// Meter is a bandwidth meter: a resource that can be used `width` times per
+// cycle. Unlike a single moving cursor, it tolerates reservations arriving
+// out of timestamp order (an eagerly computed future writeback must not
+// delay a later-issued request for an earlier cycle), which the simulator's
+// eager latency-chain computation requires.
+//
+// Bookkeeping is a circular window over cycles: slot i holds the usage count
+// for one specific cycle (tagged in cyc). Live reservations cluster within a
+// few hundred cycles of each other, far below the window span; in the rare
+// case two live cycles alias, the older count is forgotten, slightly
+// under-modelling contention but never blocking progress.
+type Meter struct {
+	width int
+	cyc   []int64
+	cnt   []int32
+}
+
+const meterBits = 11 // 2048-cycle window
+
+// NewMeter builds a meter with the given per-cycle capacity.
+func NewMeter(width int) *Meter {
+	if width <= 0 {
+		panic("noc: meter width must be positive")
+	}
+	m := &Meter{width: width, cyc: make([]int64, 1<<meterBits), cnt: make([]int32, 1<<meterBits)}
+	for i := range m.cyc {
+		m.cyc[i] = -1
+	}
+	return m
+}
+
+// Reserve claims one slot at the earliest cycle >= at with spare capacity
+// and returns that cycle.
+func (m *Meter) Reserve(at int64) int64 {
+	if at < 0 {
+		at = 0
+	}
+	for {
+		i := at & (1<<meterBits - 1)
+		if m.cyc[i] != at {
+			m.cyc[i] = at
+			m.cnt[i] = 0
+		}
+		if int(m.cnt[i]) < m.width {
+			m.cnt[i]++
+			return at
+		}
+		at++
+	}
+}
+
+// Reset clears all reservations.
+func (m *Meter) Reset() {
+	for i := range m.cyc {
+		m.cyc[i] = -1
+		m.cnt[i] = 0
+	}
+}

@@ -1,0 +1,179 @@
+// Package noc models the 2-D switched on-chip networks of the Sharing
+// Architecture. Three logical networks connect the sea of Slices and cache
+// banks (§5.1 of the paper): the Scalar Operand Network (operand requests and
+// replies), the load/store sorting network, and the rename/coherence/memory
+// network.
+//
+// The latency model follows the paper exactly: one cycle of injection plus
+// one cycle per network hop, so nearest-neighbour communication costs two
+// cycles (§3.4, Fig. 12 caption). Dimension-ordered routing on a mesh gives
+// Manhattan-distance hop counts. Port bandwidth is finite (Width messages
+// per cycle per port), which is what makes the paper's "a second operand
+// network would buy only ~1%" ablation reproducible.
+package noc
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Coord is a tile position on the fabric grid.
+type Coord struct{ X, Y int }
+
+// Manhattan returns the hop count between two tiles under dimension-ordered
+// (X then Y) routing.
+func Manhattan(a, b Coord) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Latency returns the zero-load message latency between two tiles: one cycle
+// of injection plus one cycle per hop. A tile talking to itself (e.g. a
+// load sorted to its own Slice) still pays the injection cycle.
+func Latency(a, b Coord) int64 { return int64(1 + Manhattan(a, b)) }
+
+// Kind labels a message's purpose. The simulator defines its own meanings;
+// the network treats kinds opaquely and only uses them for statistics.
+type Kind uint8
+
+// Message is one network packet. A, B, C and Val carry kind-specific payload
+// (register numbers, addresses, operand values); the network does not
+// interpret them.
+type Message struct {
+	Kind     Kind
+	Src, Dst Coord
+	Arrive   int64 // set by Send: cycle at which the message is deliverable
+	A, B, C  uint64
+	Val      uint64
+	seq      uint64 // tie-break for deterministic ordering
+}
+
+// msgHeap orders messages by (Arrive, seq) so delivery order is
+// deterministic regardless of map iteration or send interleavings.
+type msgHeap []Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].Arrive != h[j].Arrive {
+		return h[i].Arrive < h[j].Arrive
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Message)) }
+func (h *msgHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Stats aggregates network activity counters.
+type Stats struct {
+	Messages  uint64
+	TotalHops uint64
+	// StallCycles counts cycles messages spent waiting for port bandwidth
+	// beyond their zero-load latency.
+	StallCycles uint64
+}
+
+// Network is one logical 2-D switched network over a W x H tile grid.
+type Network struct {
+	Name  string
+	W, H  int
+	Width int // messages per cycle per injection/ejection port
+
+	egress  []*Meter  // per source tile
+	ingress []*Meter  // per destination tile
+	queues  []msgHeap // per destination tile
+	seq     uint64
+	stats   Stats
+}
+
+// New creates a network over a w x h grid with the given per-port bandwidth
+// in messages per cycle. Port meters are created lazily per tile.
+func New(name string, w, h, width int) *Network {
+	if w <= 0 || h <= 0 || width <= 0 {
+		panic(fmt.Sprintf("noc: invalid network geometry %dx%d width %d", w, h, width))
+	}
+	n := w * h
+	return &Network{
+		Name: name, W: w, H: h, Width: width,
+		egress:  make([]*Meter, n),
+		ingress: make([]*Meter, n),
+		queues:  make([]msgHeap, n),
+	}
+}
+
+func (n *Network) meter(ms []*Meter, i int) *Meter {
+	if ms[i] == nil {
+		ms[i] = NewMeter(n.Width)
+	}
+	return ms[i]
+}
+
+func (n *Network) index(c Coord) int {
+	if c.X < 0 || c.X >= n.W || c.Y < 0 || c.Y >= n.H {
+		panic(fmt.Sprintf("noc: %s: coordinate %v outside %dx%d grid", n.Name, c, n.W, n.H))
+	}
+	return c.Y*n.W + c.X
+}
+
+// Send injects a message at cycle now. It returns the delivery cycle, which
+// accounts for injection-port contention at the source, per-hop latency, and
+// ejection-port contention at the destination. The message becomes visible
+// to Deliver at the returned cycle.
+func (n *Network) Send(now int64, m Message) int64 {
+	si, di := n.index(m.Src), n.index(m.Dst)
+	depart := n.meter(n.egress, si).Reserve(now)
+	zeroLoad := depart + Latency(m.Src, m.Dst)
+	arrive := n.meter(n.ingress, di).Reserve(zeroLoad)
+	n.stats.Messages++
+	n.stats.TotalHops += uint64(Manhattan(m.Src, m.Dst))
+	n.stats.StallCycles += uint64((depart - now) + (arrive - zeroLoad))
+	m.Arrive = arrive
+	m.seq = n.seq
+	n.seq++
+	heap.Push(&n.queues[di], m)
+	return arrive
+}
+
+// Deliver pops every message destined to dst whose delivery cycle is <= now,
+// in deterministic (Arrive, send-order) order.
+func (n *Network) Deliver(now int64, dst Coord, out []Message) []Message {
+	q := &n.queues[n.index(dst)]
+	for q.Len() > 0 && (*q)[0].Arrive <= now {
+		out = append(out, heap.Pop(q).(Message))
+	}
+	return out
+}
+
+// Pending reports whether any undelivered messages remain for dst.
+func (n *Network) Pending(dst Coord) bool { return n.queues[n.index(dst)].Len() > 0 }
+
+// NextArrival returns the earliest pending delivery cycle for dst and true,
+// or 0 and false if the destination has no pending messages. Simulators use
+// it to fast-forward quiet cycles.
+func (n *Network) NextArrival(dst Coord) (int64, bool) {
+	q := n.queues[n.index(dst)]
+	if len(q) == 0 {
+		return 0, false
+	}
+	return q[0].Arrive, true
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Reset clears all queues and statistics, keeping geometry.
+func (n *Network) Reset() {
+	for i := range n.queues {
+		n.queues[i] = nil
+		n.egress[i] = nil
+		n.ingress[i] = nil
+	}
+	n.seq = 0
+	n.stats = Stats{}
+}

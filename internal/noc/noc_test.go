@@ -1,0 +1,232 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func clampCoord(c Coord, w, h int) Coord {
+	x, y := c.X%w, c.Y%h
+	if x < 0 {
+		x += w
+	}
+	if y < 0 {
+		y += h
+	}
+	return Coord{X: x, Y: y}
+}
+
+func TestManhattanProperties(t *testing.T) {
+	const w, h = 16, 16
+	sym := func(a, b Coord) bool {
+		a, b = clampCoord(a, w, h), clampCoord(b, w, h)
+		return Manhattan(a, b) == Manhattan(b, a)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Fatal("symmetry:", err)
+	}
+	tri := func(a, b, c Coord) bool {
+		a, b, c = clampCoord(a, w, h), clampCoord(b, w, h), clampCoord(c, w, h)
+		return Manhattan(a, c) <= Manhattan(a, b)+Manhattan(b, c)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Fatal("triangle inequality:", err)
+	}
+	ident := func(a Coord) bool {
+		a = clampCoord(a, w, h)
+		return Manhattan(a, a) == 0
+	}
+	if err := quick.Check(ident, nil); err != nil {
+		t.Fatal("identity:", err)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	// Paper: two cycles between nearest neighbours, one more per extra hop.
+	if got := Latency(Coord{0, 0}, Coord{1, 0}); got != 2 {
+		t.Errorf("nearest neighbour latency = %d, want 2", got)
+	}
+	if got := Latency(Coord{0, 0}, Coord{3, 2}); got != 6 {
+		t.Errorf("5-hop latency = %d, want 6", got)
+	}
+	if got := Latency(Coord{2, 2}, Coord{2, 2}); got != 1 {
+		t.Errorf("self latency = %d, want 1 (injection)", got)
+	}
+}
+
+func TestSendDeliverOrdering(t *testing.T) {
+	n := New("t", 8, 8, 1)
+	dst := Coord{4, 4}
+	// Two messages from different distances; the nearer must arrive first.
+	far := n.Send(0, Message{Src: Coord{0, 0}, Dst: dst, Kind: 1})
+	near := n.Send(0, Message{Src: Coord{4, 3}, Dst: dst, Kind: 2})
+	if near >= far {
+		t.Fatalf("near=%d far=%d", near, far)
+	}
+	if got, want := near, int64(2); got != want {
+		t.Fatalf("near arrival = %d, want %d", got, want)
+	}
+	var out []Message
+	out = n.Deliver(near, dst, out)
+	if len(out) != 1 || out[0].Kind != 2 {
+		t.Fatalf("deliver at %d got %v", near, out)
+	}
+	out = n.Deliver(far, dst, out[:0])
+	if len(out) != 1 || out[0].Kind != 1 {
+		t.Fatalf("deliver at %d got %v", far, out)
+	}
+	if n.Pending(dst) {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestPortContention(t *testing.T) {
+	n := New("t", 4, 4, 1)
+	src, dst := Coord{0, 0}, Coord{1, 0}
+	a := n.Send(10, Message{Src: src, Dst: dst})
+	b := n.Send(10, Message{Src: src, Dst: dst})
+	c := n.Send(10, Message{Src: src, Dst: dst})
+	if a != 12 || b != 13 || c != 14 {
+		t.Fatalf("serialized arrivals = %d,%d,%d; want 12,13,14", a, b, c)
+	}
+	st := n.Stats()
+	if st.Messages != 3 || st.TotalHops != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.StallCycles != 3 { // b waits 1 at egress, c waits 2
+		t.Fatalf("stall cycles = %d, want 3", st.StallCycles)
+	}
+}
+
+func TestWidthTwoDoublesBandwidth(t *testing.T) {
+	n := New("t", 4, 4, 2)
+	src, dst := Coord{0, 0}, Coord{1, 0}
+	a := n.Send(10, Message{Src: src, Dst: dst})
+	b := n.Send(10, Message{Src: src, Dst: dst})
+	c := n.Send(10, Message{Src: src, Dst: dst})
+	if a != 12 || b != 12 || c != 13 {
+		t.Fatalf("arrivals = %d,%d,%d; want 12,12,13", a, b, c)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	n := New("t", 8, 1, 1)
+	dst := Coord{4, 0}
+	// Equidistant sources from both sides collide at the ejection port.
+	a := n.Send(0, Message{Src: Coord{3, 0}, Dst: dst})
+	b := n.Send(0, Message{Src: Coord{5, 0}, Dst: dst})
+	if a == b {
+		t.Fatalf("ejection port must serialize: %d vs %d", a, b)
+	}
+}
+
+func TestDeliverDeterministicTieBreak(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		n := New("t", 8, 8, 4)
+		dst := Coord{0, 0}
+		n.Send(0, Message{Src: Coord{2, 0}, Dst: dst, Kind: 1})
+		n.Send(0, Message{Src: Coord{0, 2}, Dst: dst, Kind: 2})
+		out := n.Deliver(10, dst, nil)
+		if len(out) != 2 || out[0].Kind != 1 || out[1].Kind != 2 {
+			t.Fatalf("tie break unstable: %v", out)
+		}
+	}
+}
+
+func TestNextArrivalAndReset(t *testing.T) {
+	n := New("t", 4, 4, 1)
+	dst := Coord{2, 2}
+	if _, ok := n.NextArrival(dst); ok {
+		t.Fatal("empty queue reported pending arrival")
+	}
+	at := n.Send(5, Message{Src: Coord{0, 0}, Dst: dst})
+	got, ok := n.NextArrival(dst)
+	if !ok || got != at {
+		t.Fatalf("NextArrival = %d,%v; want %d,true", got, ok, at)
+	}
+	n.Reset()
+	if n.Pending(dst) || n.Stats().Messages != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestOutOfGridPanics(t *testing.T) {
+	n := New("t", 4, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-grid coordinate must panic")
+		}
+	}()
+	n.Send(0, Message{Src: Coord{9, 0}, Dst: Coord{0, 0}})
+}
+
+func TestMeterOutOfOrderReservations(t *testing.T) {
+	m := NewMeter(1)
+	// A far-future reservation must not delay a present one.
+	if got := m.Reserve(100000); got != 100000 {
+		t.Fatalf("future reservation at %d", got)
+	}
+	if got := m.Reserve(5); got != 5 {
+		t.Fatalf("present reservation pushed to %d by future one", got)
+	}
+	if got := m.Reserve(5); got != 6 {
+		t.Fatalf("second present reservation at %d, want 6", got)
+	}
+}
+
+func TestMeterCapacityPerCycle(t *testing.T) {
+	m := NewMeter(3)
+	for i := 0; i < 3; i++ {
+		if got := m.Reserve(42); got != 42 {
+			t.Fatalf("slot %d at %d", i, got)
+		}
+	}
+	if got := m.Reserve(42); got != 43 {
+		t.Fatalf("overflow slot at %d, want 43", got)
+	}
+	m.Reset()
+	if got := m.Reserve(42); got != 42 {
+		t.Fatalf("after reset at %d", got)
+	}
+}
+
+func TestMeterProperty(t *testing.T) {
+	// Reserve never returns a cycle earlier than requested, and per-cycle
+	// grants never exceed the width.
+	f := func(reqs []uint16) bool {
+		m := NewMeter(2)
+		grants := make(map[int64]int)
+		for _, r := range reqs {
+			at := int64(r % 512)
+			got := m.Reserve(at)
+			if got < at {
+				return false
+			}
+			grants[got]++
+			if grants[got] > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New("x", 0, 4, 1) },
+		func() { New("x", 4, 4, 0) },
+		func() { NewMeter(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

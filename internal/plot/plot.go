@@ -1,0 +1,241 @@
+// Package plot renders the evaluation's figures as ASCII line charts and
+// scatter plots, so cmd/sweep and cmd/market can emit a visual alongside the
+// numeric tables (the paper's Figs. 12, 13 and 15 are line/scatter plots).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []float64 // y values; x is the shared category axis
+}
+
+// Chart is an ASCII chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string // one per category
+	Width  int      // plot columns (default 64)
+	Height int      // plot rows (default 16)
+}
+
+// seriesGlyphs label up to 16 curves.
+const seriesGlyphs = "*o+x#@%&=~^!?:;$"
+
+// Lines renders the series as a multi-curve ASCII line chart.
+func Lines(c Chart, series []Series) string {
+	if len(series) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	nPts := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Points) > nPts {
+			nPts = len(s.Points)
+		}
+		for _, y := range s.Points {
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if nPts == 0 {
+		return c.Title + "\n(no points)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Pad the range slightly so extremes don't sit on the frame.
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(i int) int {
+		if nPts == 1 {
+			return 0
+		}
+		return i * (w - 1) / (nPts - 1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((hi - y) / (hi - lo) * float64(h-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		prevC, prevR := -1, -1
+		for i, y := range s.Points {
+			cc, rr := col(i), row(y)
+			if prevC >= 0 {
+				drawLine(grid, prevC, prevR, cc, rr, '.')
+			}
+			prevC, prevR = cc, rr
+		}
+		// Markers drawn after connectors so they stay visible.
+		for i, y := range s.Points {
+			grid[row(y)][col(i)] = g
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo, yHi := fmt.Sprintf("%.2f", lo+pad), fmt.Sprintf("%.2f", hi-pad)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yHi)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	if len(c.XTicks) > 0 {
+		tick := make([]byte, w)
+		for i := range tick {
+			tick[i] = ' '
+		}
+		lbl := strings.Repeat(" ", margin+2)
+		var axis strings.Builder
+		axis.WriteString(lbl)
+		prevEnd := -1
+		for i, t := range c.XTicks {
+			pos := col(i)
+			if pos <= prevEnd {
+				continue
+			}
+			for axis.Len() < len(lbl)+pos {
+				axis.WriteByte(' ')
+			}
+			axis.WriteString(t)
+			prevEnd = pos + len(t)
+		}
+		fmt.Fprintf(&b, "%s\n", axis.String())
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "  x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "  %s\n", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// drawLine draws a Bresenham connector with the given glyph, not overwriting
+// existing non-space cells (markers win).
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, glyph byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' {
+			grid[y0][x0] = glyph
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Histogram renders a horizontal-bucket histogram of values (used for the
+// Fig. 15/16 gain distributions).
+func Histogram(title string, values []float64, buckets int, width int) string {
+	if len(values) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if buckets <= 0 {
+		buckets = 10
+	}
+	if width <= 0 {
+		width = 50
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, buckets)
+	for _, v := range values {
+		i := int((v - lo) / (hi - lo) * float64(buckets))
+		if i >= buckets {
+			i = buckets - 1
+		}
+		counts[i]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, c := range counts {
+		blo := lo + float64(i)*(hi-lo)/float64(buckets)
+		bhi := blo + (hi-lo)/float64(buckets)
+		bar := strings.Repeat("#", c*width/maxInt(maxC, 1))
+		fmt.Fprintf(&b, "  %6.2f-%-6.2f |%-*s %d\n", blo, bhi, width, bar, c)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

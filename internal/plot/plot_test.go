@@ -1,0 +1,75 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	out := Lines(Chart{
+		Title:  "Fig X",
+		XTicks: []string{"1", "2", "4", "8"},
+		XLabel: "slices",
+		YLabel: "speedup",
+		Width:  40, Height: 10,
+	}, []Series{
+		{Name: "gobmk", Points: []float64{1, 1.5, 1.8, 2.0}},
+		{Name: "hmmer", Points: []float64{1, 1.2, 1.1, 0.9}},
+	})
+	for _, want := range []string{"Fig X", "gobmk", "hmmer", "*", "o", "slices", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	if out := Lines(Chart{Title: "t"}, nil); !strings.Contains(out, "no data") {
+		t.Fatalf("empty: %s", out)
+	}
+	if out := Lines(Chart{Title: "t"}, []Series{{Name: "x"}}); !strings.Contains(out, "no points") {
+		t.Fatalf("no points: %s", out)
+	}
+	// Flat series (zero range) and single point must not panic or divide
+	// by zero.
+	out := Lines(Chart{Width: 10, Height: 4}, []Series{{Name: "flat", Points: []float64{2, 2, 2}}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series lost: %s", out)
+	}
+	out = Lines(Chart{Width: 10, Height: 4}, []Series{{Name: "one", Points: []float64{5}}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point lost: %s", out)
+	}
+}
+
+func TestLinesManySeriesGlyphsCycle(t *testing.T) {
+	var ss []Series
+	for i := 0; i < 20; i++ {
+		ss = append(ss, Series{Name: "s", Points: []float64{float64(i), float64(i + 1)}})
+	}
+	out := Lines(Chart{Width: 30, Height: 8}, ss)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("gains", []float64{1, 1.1, 1.2, 2, 2.1, 5}, 4, 30)
+	if !strings.Contains(out, "gains") || !strings.Contains(out, "#") {
+		t.Fatalf("histogram:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 {
+		t.Fatalf("%d lines, want 5 (title + 4 buckets)", lines)
+	}
+	if out := Histogram("e", nil, 4, 30); !strings.Contains(out, "no data") {
+		t.Fatal("empty histogram")
+	}
+	// Identical values: single-width range handled.
+	if out := Histogram("same", []float64{3, 3, 3}, 3, 10); !strings.Contains(out, "#") {
+		t.Fatalf("flat histogram:\n%s", out)
+	}
+}

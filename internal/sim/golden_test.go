@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"sharing/internal/isa"
+	"sharing/internal/trace"
+	"sharing/internal/workload"
+)
+
+// runGolden simulates mt and checks every thread's final architectural state
+// against the in-order reference interpreter. This single invariant
+// transitively validates rename, operand forwarding, LSQ ordering and
+// violation recovery, mispredict handling, and in-order commit.
+func runGolden(t *testing.T, p Params, mt *trace.MultiTrace) *Result {
+	t.Helper()
+	mc, err := NewMachine(p, mt)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	res, err := mc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for ti, th := range mt.Threads {
+		ref := isa.NewInterp()
+		if err := ref.Run(th.Insts); err != nil {
+			t.Fatalf("thread %d: reference interpreter: %v", ti, err)
+		}
+		got := mc.Engines()[ti].FinalState()
+		if diff := got.Diff(ref.State); diff != "" {
+			t.Fatalf("thread %d: architectural state mismatch: %s", ti, diff)
+		}
+	}
+	if res.Instructions == 0 || res.Cycles == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	return res
+}
+
+func TestGoldenSingleSliceSmall(t *testing.T) {
+	prof, err := workload.Lookup("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := prof.Generate(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runGolden(t, DefaultParams(1, 128), mt)
+	t.Logf("gcc 1 slice: %s", res.VCores[0].String())
+}
+
+func TestGoldenAllSliceCounts(t *testing.T) {
+	prof, err := workload.Lookup("bzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := prof.Generate(8000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 8; s++ {
+		res := runGolden(t, DefaultParams(s, 256), mt)
+		t.Logf("bzip %d slices: cycles=%d ipc=%.3f", s, res.Cycles, res.IPC())
+	}
+}
+
+func TestGoldenAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prof, err := workload.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mt, err := prof.Generate(12000, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := runGolden(t, DefaultParams(2, 128), mt)
+			t.Logf("%s: cycles=%d ipc=%.3f viol=%d mis=%.1f%%",
+				name, res.Cycles, res.IPC(), res.VCores[0].Violations, 100*res.VCores[0].MispredictRate())
+		})
+	}
+}
+
+func TestGoldenNoL2(t *testing.T) {
+	prof, err := workload.Lookup("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := prof.Generate(4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runGolden(t, DefaultParams(2, 0), mt)
+	t.Logf("astar no-L2: cycles=%d", res.Cycles)
+}

@@ -1,0 +1,367 @@
+// Package sim is SSim: the trace-driven, cycle-level simulator of the
+// Sharing Architecture (§5.2 of the paper). It instantiates a VM on the
+// fabric — one or more VCores (internal/vcore) plus a shared set of L2
+// banks — wires them to the three on-chip networks, the bank directory, and
+// main memory, and runs them to completion, reporting cycles, miss rates,
+// and stage-based stall statistics.
+package sim
+
+import (
+	"fmt"
+
+	"sharing/internal/cache"
+	"sharing/internal/hypervisor"
+	"sharing/internal/mem"
+	"sharing/internal/noc"
+	"sharing/internal/trace"
+	"sharing/internal/vcore"
+)
+
+// Params configures one simulation.
+type Params struct {
+	// VCore is the per-VCore microarchitecture (NumSlices included).
+	VCore vcore.Config
+	// CacheKB is the VM's total L2 allocation in KB (multiple of 64).
+	CacheKB int
+	// FabricW, FabricH are the fabric dimensions (0 = default 64x32).
+	FabricW, FabricH int
+	// OperandNetWidth is the SON's per-port bandwidth in messages/cycle.
+	// The paper's default is one network; two models the "second operand
+	// network" ablation of §5.1.
+	OperandNetWidth int
+	// SortNetWidth and MemNetWidth size the other two networks.
+	SortNetWidth, MemNetWidth int
+	// BankPortWidth is L2 bank accesses per bank per cycle.
+	BankPortWidth int
+	// Mem configures main memory.
+	Mem mem.Config
+	// MaxCycles aborts runaway simulations (0 = default 2e9).
+	MaxCycles int64
+}
+
+// DefaultParams returns the paper's base configuration for a VCore of n
+// Slices and cacheKB of L2.
+func DefaultParams(n, cacheKB int) Params {
+	return Params{
+		VCore:           vcore.DefaultConfig(n),
+		CacheKB:         cacheKB,
+		OperandNetWidth: 1,
+		SortNetWidth:    1,
+		MemNetWidth:     1,
+		BankPortWidth:   2,
+		Mem:             mem.DefaultConfig(),
+	}
+}
+
+// Validate checks the parameters.
+func (p *Params) Validate() error {
+	if err := p.VCore.Validate(); err != nil {
+		return err
+	}
+	if p.CacheKB < 0 || p.CacheKB%hypervisor.BankKB != 0 {
+		return fmt.Errorf("sim: CacheKB %d must be a non-negative multiple of %d", p.CacheKB, hypervisor.BankKB)
+	}
+	if p.OperandNetWidth < 1 || p.SortNetWidth < 1 || p.MemNetWidth < 1 || p.BankPortWidth < 1 {
+		return fmt.Errorf("sim: network/port widths must be >= 1")
+	}
+	if p.Mem.Latency < 1 {
+		return fmt.Errorf("sim: memory latency must be >= 1")
+	}
+	return nil
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Cycles is the total execution time (all threads complete).
+	Cycles int64
+	// Instructions is the total committed instruction count.
+	Instructions uint64
+	// VCores holds per-VCore statistics.
+	VCores []vcore.Stats
+	// OpNet, SortNet, MemNet are network statistics.
+	OpNet, SortNet, MemNet noc.Stats
+	// L2Hits/L2Misses aggregate bank behaviour.
+	L2Hits, L2Misses uint64
+	// Invalidations counts directory-driven L1 invalidations.
+	Invalidations uint64
+	// MemReads/MemWrites count main-memory accesses.
+	MemReads, MemWrites uint64
+}
+
+// IPC returns aggregate committed instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Performance returns the throughput metric used across the evaluation:
+// committed instructions per cycle for the whole VM. For a fixed workload,
+// performance ratios equal inverse cycle-count ratios.
+func (r *Result) Performance() float64 { return r.IPC() }
+
+// machine wires the uncore shared by all VCores of the VM.
+type machine struct {
+	home     *cache.HomeMap
+	memNet   *noc.Network
+	memory   *mem.Memory
+	bankPort map[int]*noc.Meter
+	engines  []*vcore.Engine
+	multiVC  bool
+	ctrls    []noc.Coord
+
+	invalidations uint64
+	l2Hits        uint64
+	l2Misses      uint64
+}
+
+// nearestCtrl returns the closest memory controller tile.
+func (m *machine) nearestCtrl(from noc.Coord) noc.Coord {
+	best := m.ctrls[0]
+	bd := noc.Manhattan(from, best)
+	for _, c := range m.ctrls[1:] {
+		if d := noc.Manhattan(from, c); d < bd {
+			best, bd = c, d
+		}
+	}
+	return best
+}
+
+// uncoreFor binds the shared machine to one VCore.
+type uncoreFor struct {
+	m  *machine
+	vc int
+}
+
+// bankIndex strips the bank-interleave bits from a line address before it
+// indexes a bank's tag array (lines are low-order interleaved across the
+// VM's banks, so within one bank every resident line shares the same
+// residue; indexing on the raw address would leave most sets unused). The
+// mapping is bijective per bank.
+func (m *machine) bankIndex(line uint64) uint64 {
+	return (line >> 6) / uint64(m.home.NumBanks()) << 6
+}
+
+// bankReal reconstructs the real line address from a bank's index space.
+func (m *machine) bankReal(idx, slot uint64) uint64 {
+	return ((idx>>6)*uint64(m.home.NumBanks()) + slot) << 6
+}
+
+// L2Load implements vcore.Uncore. The round-trip cost to a bank at h hops is
+// 2h + 4 cycles on a hit (Table 3: hit delay distance*2+4).
+func (u *uncoreFor) L2Load(now int64, from noc.Coord, addr uint64) int64 {
+	m := u.m
+	line := addr &^ 63
+	bank := m.home.Home(line)
+	if bank == nil {
+		// No L2 allocated: the miss goes straight to memory over the
+		// on-chip network (flat cost, matching Table 2's flat 100-cycle
+		// memory delay plus a small on-chip overhead).
+		return m.memory.Access(now+2, false) + 2
+	}
+	req := m.memNet.Send(now, noc.Message{Src: from, Dst: bank.Pos})
+	acc := m.bankPort[bank.ID].Reserve(req) + 2
+	if m.multiVC {
+		bank.AddSharer(line, u.vc)
+	}
+	idx := m.bankIndex(line)
+	slot := (line >> 6) % uint64(m.home.NumBanks())
+	if bank.Tags.Lookup(idx, false) {
+		m.l2Hits++
+		return m.memNet.Send(acc, noc.Message{Src: bank.Pos, Dst: from})
+	}
+	m.l2Misses++
+	done := m.memory.Access(acc, false)
+	if victim, dirty, evicted := bank.Tags.Fill(idx, false); evicted {
+		bank.DropLine(m.bankReal(victim, slot))
+		if dirty {
+			m.memory.Access(done, true)
+		}
+	}
+	return m.memNet.Send(done, noc.Message{Src: bank.Pos, Dst: from})
+}
+
+// StoreVisible implements vcore.Uncore: directory-driven invalidation of
+// remote VCores' L1 copies when a committed store drains (§3.5).
+func (u *uncoreFor) StoreVisible(now int64, from noc.Coord, addr uint64) int64 {
+	m := u.m
+	if !m.multiVC {
+		return 0
+	}
+	line := addr &^ 63
+	bank := m.home.Home(line)
+	if bank == nil {
+		return 0
+	}
+	others := bank.Sharers(line) &^ (1 << uint(u.vc))
+	if others == 0 {
+		bank.AddSharer(line, u.vc)
+		return 0
+	}
+	bank.ClearSharersExcept(line, u.vc)
+	// Invalidate each remote VCore's copy and charge the round trips:
+	// requester -> home bank, bank -> sharers -> acks -> bank -> requester.
+	maxHop := 0
+	for vc2 := range m.engines {
+		if vc2 == u.vc || others&(1<<uint(vc2)) == 0 {
+			continue
+		}
+		m.engines[vc2].InvalidateL1(line)
+		m.invalidations++
+		if h := noc.Manhattan(bank.Pos, from); h > maxHop {
+			maxHop = h
+		}
+	}
+	toBank := noc.Manhattan(from, bank.Pos)
+	return int64(2*(1+toBank) + 2*(1+maxHop))
+}
+
+// WritebackDirty implements vcore.Uncore.
+func (u *uncoreFor) WritebackDirty(now int64, from noc.Coord, addr uint64) {
+	m := u.m
+	line := addr &^ 63
+	bank := m.home.Home(line)
+	if bank == nil {
+		m.memory.Access(now, true)
+		return
+	}
+	at := m.memNet.Send(now, noc.Message{Src: from, Dst: bank.Pos})
+	idx := m.bankIndex(line)
+	slot := (line >> 6) % uint64(m.home.NumBanks())
+	if victim, dirty, evicted := bank.Tags.Fill(idx, true); evicted {
+		bank.DropLine(m.bankReal(victim, slot))
+		if dirty {
+			m.memory.Access(at, true)
+		}
+	}
+}
+
+// Machine is one fully wired simulation instance: a VM placed on the
+// fabric, one VCore engine per thread, shared networks, banks and memory.
+type Machine struct {
+	p    Params
+	m    *machine
+	nets [3]*noc.Network
+}
+
+// Engines exposes the per-thread VCore engines (for golden-model checks).
+func (mc *Machine) Engines() []*vcore.Engine { return mc.m.engines }
+
+// NewMachine builds a simulation instance for mt under p. One VCore is built
+// per thread; all VCores share the VM's L2 banks (with directory coherence
+// when there is more than one VCore).
+func NewMachine(p Params, mt *trace.MultiTrace) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mt.Validate(); err != nil {
+		return nil, err
+	}
+	w, h := p.FabricW, p.FabricH
+	if w == 0 {
+		w, h = 64, 32
+	}
+	fabric, err := hypervisor.NewFabric(w, h)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := fabric.AllocVM(len(mt.Threads), p.VCore.NumSlices, p.CacheKB/hypervisor.BankKB)
+	if err != nil {
+		return nil, err
+	}
+	opNet := noc.New("operand", w, h, p.OperandNetWidth)
+	sortNet := noc.New("lssort", w, h, p.SortNetWidth)
+	memNet := noc.New("memory", w, h, p.MemNetWidth)
+	m := &machine{
+		home:     cache.NewHomeMap(vm.Banks),
+		memNet:   memNet,
+		memory:   mem.New(p.Mem),
+		bankPort: make(map[int]*noc.Meter, len(vm.Banks)),
+		multiVC:  len(mt.Threads) > 1,
+		ctrls: []noc.Coord{
+			{X: 0, Y: h / 2}, {X: w - 1, Y: h / 2}, {X: w / 2, Y: 0}, {X: w / 2, Y: h - 1},
+		},
+	}
+	for _, b := range vm.Banks {
+		m.bankPort[b.ID] = noc.NewMeter(p.BankPortWidth)
+	}
+	for ti, th := range mt.Threads {
+		eng, err := vcore.New(p.VCore, th, vm.VCores[ti].Slices, opNet, sortNet, &uncoreFor{m: m, vc: ti})
+		if err != nil {
+			return nil, err
+		}
+		if len(mt.Barriers) > 0 {
+			at := make([]int, len(mt.Barriers))
+			for bi, b := range mt.Barriers {
+				at[bi] = b.At[ti]
+			}
+			eng.SetBarriers(at)
+		}
+		m.engines = append(m.engines, eng)
+	}
+	return &Machine{p: p, m: m, nets: [3]*noc.Network{opNet, sortNet, memNet}}, nil
+}
+
+// Run executes the machine to completion.
+func (mc *Machine) Run() (*Result, error) {
+	p, m := mc.p, mc.m
+	maxCycles := p.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	var t int64
+	for {
+		done := true
+		for _, e := range m.engines {
+			e.Tick(t)
+			if err := e.Err(); err != nil {
+				return nil, err
+			}
+			if !e.Done() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		// Barrier rendezvous: release when every unfinished engine waits.
+		waiting, active := 0, 0
+		for _, e := range m.engines {
+			if e.Done() {
+				continue
+			}
+			active++
+			if e.AtBarrier() {
+				waiting++
+			}
+		}
+		if active > 0 && waiting == active {
+			for _, e := range m.engines {
+				e.ReleaseBarrier(t)
+			}
+		}
+		t++
+		if t > maxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxCycles)
+		}
+	}
+	res := &Result{Cycles: t + 1, OpNet: mc.nets[0].Stats(), SortNet: mc.nets[1].Stats(), MemNet: mc.nets[2].Stats()}
+	for _, e := range m.engines {
+		res.Instructions += e.Committed()
+		res.VCores = append(res.VCores, *e.Stats())
+	}
+	res.L2Hits, res.L2Misses = m.l2Hits, m.l2Misses
+	res.Invalidations = m.invalidations
+	res.MemReads, res.MemWrites = m.memory.Reads, m.memory.Writes
+	return res, nil
+}
+
+// Run builds a Machine for mt under p and executes it to completion.
+func Run(p Params, mt *trace.MultiTrace) (*Result, error) {
+	mc, err := NewMachine(p, mt)
+	if err != nil {
+		return nil, err
+	}
+	return mc.Run()
+}

@@ -1,0 +1,72 @@
+package slice
+
+// GShare is the global prediction scheme the paper sketches as an extension
+// (§3.1): a gshare predictor whose Global History Register is composed
+// across the Slices of a VCore. Because branch outcomes resolve on different
+// Slices and history updates travel the switched interconnect, the history
+// visible at prediction time LAGS the architectural history by a
+// configurable number of outcomes — exactly the "appropriate delay" the
+// paper mentions. With lag 0 this is a classic gshare.
+type GShare struct {
+	counters []uint8
+	mask     uint64
+
+	visible uint64 // history usable for prediction
+	pending []bool // outcomes still in flight across the interconnect
+	lag     int    // outcomes hidden from prediction
+
+	Lookups, Mispredicts uint64
+}
+
+// NewGShare builds a gshare predictor with entries counters (power of two)
+// and the given cross-Slice history delay in branch outcomes.
+func NewGShare(entries, lag int) *GShare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("slice: gshare entries must be a positive power of two")
+	}
+	if lag < 0 {
+		panic("slice: gshare lag must be non-negative")
+	}
+	g := &GShare{counters: make([]uint8, entries), mask: uint64(entries - 1), lag: lag}
+	for i := range g.counters {
+		g.counters[i] = 1 // weakly not-taken
+	}
+	return g
+}
+
+func (g *GShare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.visible) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc using the
+// delayed global history.
+func (g *GShare) Predict(pc uint64) bool {
+	g.Lookups++
+	return g.counters[g.index(pc)] >= 2
+}
+
+// Train records the resolved direction: the counter indexed by the history
+// the prediction USED is updated, the outcome enters the in-flight window,
+// and the oldest in-flight outcome (if beyond the lag) becomes visible.
+func (g *GShare) Train(pc uint64, taken, mispredicted bool) {
+	if mispredicted {
+		g.Mispredicts++
+	}
+	c := &g.counters[g.index(pc)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+	g.pending = append(g.pending, taken)
+	for len(g.pending) > g.lag {
+		bit := uint64(0)
+		if g.pending[0] {
+			bit = 1
+		}
+		g.visible = g.visible<<1 | bit
+		g.pending = g.pending[1:]
+	}
+}

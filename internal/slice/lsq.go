@@ -1,0 +1,133 @@
+package slice
+
+// LSQEntry is one entry of a Slice's unordered load/store queue bank.
+// The Sharing Architecture banks the LSQ across Slices by address (a hashing
+// function low-order interleaves accesses by cache line, §3.6), so entries
+// within a bank are unordered and carry an explicit age tag (Seq).
+type LSQEntry struct {
+	// Seq is the global program-order age tag.
+	Seq uint64
+	// Word is the 8-byte-aligned effective address.
+	Word uint64
+	// IsLoad distinguishes loads from stores.
+	IsLoad bool
+	// Arrived is the cycle the entry reached this bank over the sorting
+	// network (address known).
+	Arrived int64
+	// DataReady is set for stores once the store's data value is present.
+	DataReady bool
+	// Data is the store's value (valid when DataReady).
+	Data uint64
+	// Checked is set for loads that have performed their memory access
+	// (speculatively); such loads are violation candidates for later-
+	// arriving older stores.
+	Checked bool
+}
+
+// LSQBank is one Slice's load/store queue bank. Entries are kept in a slice
+// ordered by insertion; all searches are by age tag, mirroring the
+// associative search of the late-binding unordered LSQ the paper adopts.
+type LSQBank struct {
+	entries  []LSQEntry
+	capacity int
+
+	// Violations counts store-hit-younger-load ordering violations found.
+	Violations uint64
+}
+
+// NewLSQBank builds a bank with the given capacity (Table 2: 32).
+func NewLSQBank(capacity int) *LSQBank {
+	if capacity <= 0 {
+		panic("slice: LSQ capacity must be positive")
+	}
+	return &LSQBank{capacity: capacity}
+}
+
+// Len returns the current occupancy.
+func (q *LSQBank) Len() int { return len(q.entries) }
+
+// Full reports whether the bank has no free entries.
+func (q *LSQBank) Full() bool { return len(q.entries) >= q.capacity }
+
+// Insert adds an entry. It returns false if the bank is full.
+func (q *LSQBank) Insert(e LSQEntry) bool {
+	if q.Full() {
+		return false
+	}
+	q.entries = append(q.entries, e)
+	return true
+}
+
+// Find returns a pointer to the entry with age tag seq, or nil.
+func (q *LSQBank) Find(seq uint64) *LSQEntry {
+	for i := range q.entries {
+		if q.entries[i].Seq == seq {
+			return &q.entries[i]
+		}
+	}
+	return nil
+}
+
+// LatestOlderStore returns the youngest store older than seq to the same
+// word, or nil. Loads use it for store-to-load forwarding.
+func (q *LSQBank) LatestOlderStore(seq uint64, word uint64) *LSQEntry {
+	var best *LSQEntry
+	for i := range q.entries {
+		e := &q.entries[i]
+		if !e.IsLoad && e.Seq < seq && e.Word == word && (best == nil || e.Seq > best.Seq) {
+			best = e
+		}
+	}
+	return best
+}
+
+// OldestViolatingLoad implements the paper's violation check: when a store
+// arrives (or commits), it searches the bank for younger loads to the same
+// address that have already performed their access. It returns the oldest
+// such load's age tag, or ok=false.
+func (q *LSQBank) OldestViolatingLoad(storeSeq uint64, word uint64) (seq uint64, ok bool) {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.IsLoad && e.Checked && e.Seq > storeSeq && e.Word == word && (!ok || e.Seq < seq) {
+			seq, ok = e.Seq, true
+		}
+	}
+	if ok {
+		q.Violations++
+	}
+	return seq, ok
+}
+
+// Remove deletes the entry with age tag seq, reporting whether it existed.
+func (q *LSQBank) Remove(seq uint64) bool {
+	for i := range q.entries {
+		if q.entries[i].Seq == seq {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SquashYoungerOrEqual drops every entry with age tag >= seq (pipeline
+// flush) and returns how many were dropped.
+func (q *LSQBank) SquashYoungerOrEqual(seq uint64) int {
+	kept := q.entries[:0]
+	dropped := 0
+	for _, e := range q.entries {
+		if e.Seq >= seq {
+			dropped++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	q.entries = kept
+	return dropped
+}
+
+// ForEach visits every entry (read-only iteration helper for tests/stats).
+func (q *LSQBank) ForEach(f func(e LSQEntry)) {
+	for _, e := range q.entries {
+		f(e)
+	}
+}

@@ -1,0 +1,133 @@
+package slice
+
+// MSHRSet models a Slice's miss status holding registers: the bookkeeping
+// that makes the paper's caches non-blocking (§3.5). Each entry tracks one
+// outstanding line fill; requests to an already-outstanding line merge into
+// the existing entry's waiter list. Capacity bounds in-flight misses
+// (Table 2: maximum 8 in-flight loads per Slice).
+type MSHRSet struct {
+	capacity int
+	entries  map[uint64][]uint64 // line address -> waiting age tags
+
+	// Merges counts requests that joined an existing entry.
+	Merges uint64
+	// FullStalls counts requests rejected because all MSHRs were busy.
+	FullStalls uint64
+}
+
+// NewMSHRSet builds a set with the given capacity.
+func NewMSHRSet(capacity int) *MSHRSet {
+	if capacity <= 0 {
+		panic("slice: MSHR capacity must be positive")
+	}
+	return &MSHRSet{capacity: capacity, entries: make(map[uint64][]uint64, capacity)}
+}
+
+// Len returns the number of outstanding line fills.
+func (m *MSHRSet) Len() int { return len(m.entries) }
+
+// Outstanding reports whether line already has an in-flight fill.
+func (m *MSHRSet) Outstanding(line uint64) bool {
+	_, ok := m.entries[line]
+	return ok
+}
+
+// Request tries to register interest in line by waiter seq. It returns:
+//   - allocated=true if a new fill must be started for the line;
+//   - merged=true if the request joined an existing fill;
+//   - neither if the set is full (the caller must retry later).
+//
+// Prefetches and other waiterless fills pass track=false to allocate without
+// recording a waiter.
+func (m *MSHRSet) Request(line uint64, seq uint64, track bool) (allocated, merged bool) {
+	if w, ok := m.entries[line]; ok {
+		if track {
+			m.entries[line] = append(w, seq)
+		}
+		m.Merges++
+		return false, true
+	}
+	if len(m.entries) >= m.capacity {
+		m.FullStalls++
+		return false, false
+	}
+	if track {
+		m.entries[line] = []uint64{seq}
+	} else {
+		m.entries[line] = nil
+	}
+	return true, false
+}
+
+// Complete removes the entry for line and returns its waiters.
+func (m *MSHRSet) Complete(line uint64) []uint64 {
+	w := m.entries[line]
+	delete(m.entries, line)
+	return w
+}
+
+// DropWaiters removes all waiters with age tag >= seq from every entry
+// (pipeline flush); in-flight fills continue but deliver to no one.
+func (m *MSHRSet) DropWaiters(seq uint64) {
+	for line, ws := range m.entries {
+		kept := ws[:0]
+		for _, w := range ws {
+			if w < seq {
+				kept = append(kept, w)
+			}
+		}
+		m.entries[line] = kept
+	}
+}
+
+// StoreBuffer is the small post-commit store queue each Slice drains into
+// its L1 D-cache (Table 2: 8 entries). Commit stalls when the buffer of the
+// store's home Slice is full.
+type StoreBuffer struct {
+	entries  []StoreBufEntry
+	capacity int
+}
+
+// StoreBufEntry is one committed store awaiting its cache write.
+type StoreBufEntry struct {
+	Seq  uint64
+	Word uint64
+}
+
+// NewStoreBuffer builds a buffer with the given capacity.
+func NewStoreBuffer(capacity int) *StoreBuffer {
+	if capacity <= 0 {
+		panic("slice: store buffer capacity must be positive")
+	}
+	return &StoreBuffer{capacity: capacity}
+}
+
+// Len returns the occupancy.
+func (b *StoreBuffer) Len() int { return len(b.entries) }
+
+// Full reports whether the buffer is full.
+func (b *StoreBuffer) Full() bool { return len(b.entries) >= b.capacity }
+
+// Push appends a committed store; it returns false when full.
+func (b *StoreBuffer) Push(e StoreBufEntry) bool {
+	if b.Full() {
+		return false
+	}
+	b.entries = append(b.entries, e)
+	return true
+}
+
+// Head returns the oldest store without removing it.
+func (b *StoreBuffer) Head() (StoreBufEntry, bool) {
+	if len(b.entries) == 0 {
+		return StoreBufEntry{}, false
+	}
+	return b.entries[0], true
+}
+
+// Pop removes the oldest store.
+func (b *StoreBuffer) Pop() {
+	if len(b.entries) > 0 {
+		b.entries = b.entries[1:]
+	}
+}

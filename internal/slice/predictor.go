@@ -1,0 +1,99 @@
+// Package slice implements the per-Slice microarchitectural structures of
+// the Sharing Architecture: the bimodal branch predictor and BTB, the
+// unordered age-tagged load/store queue bank, the miss status holding
+// registers, and the store buffer. A Slice is the basic unit of computation
+// (§3, Fig. 4): one ALU, one load/store unit, two-instruction fetch, and
+// small L1 caches; internal/vcore composes Slices into Virtual Cores.
+package slice
+
+// Predictor is a local bimodal (2-bit saturating counter) branch predictor,
+// as used by the paper (§3.1, citing McFarling). Each Slice has its own
+// table; because fetch is address-interleaved, a given branch PC always maps
+// to the same Slice, so effective predictor capacity grows with Slice count.
+type Predictor struct {
+	counters []uint8
+	mask     uint64
+
+	Lookups, Mispredicts uint64
+}
+
+// NewPredictor builds a bimodal predictor with entries counters
+// (power of two).
+func NewPredictor(entries int) *Predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("slice: predictor entries must be a positive power of two")
+	}
+	p := &Predictor{counters: make([]uint8, entries), mask: uint64(entries - 1)}
+	for i := range p.counters {
+		p.counters[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.Lookups++
+	return p.counters[p.index(pc)] >= 2
+}
+
+// Train updates the 2-bit counter with the resolved direction and records
+// whether the earlier prediction was wrong.
+func (p *Predictor) Train(pc uint64, taken, mispredicted bool) {
+	if mispredicted {
+		p.Mispredicts++
+	}
+	c := &p.counters[p.index(pc)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// BTB is a direct-mapped branch target buffer. The Sharing Architecture
+// replicates BTB entries (including the paper's "fake" cross-Slice entries
+// that steer other Slices past a peer's branch); we model that by giving
+// each Slice a full BTB trained on the branches it fetches.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	mask    uint64
+
+	Hits, MissTaken uint64
+}
+
+// NewBTB builds a BTB with entries slots (power of two).
+func NewBTB(entries int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("slice: BTB entries must be a positive power of two")
+	}
+	return &BTB{
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+func (b *BTB) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Lookup returns the stored target for pc, if any.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	i := b.index(pc)
+	if b.valid[i] && b.tags[i] == pc {
+		b.Hits++
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Train records the target of a taken control transfer.
+func (b *BTB) Train(pc, target uint64) {
+	i := b.index(pc)
+	b.tags[i], b.targets[i], b.valid[i] = pc, target, true
+}

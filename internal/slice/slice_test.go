@@ -1,0 +1,337 @@
+package slice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictorLearnsBias(t *testing.T) {
+	p := NewPredictor(256)
+	pc := uint64(0x400)
+	// Train strongly taken; after warmup it must predict taken.
+	for i := 0; i < 8; i++ {
+		pred := p.Predict(pc)
+		p.Train(pc, true, pred != true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("bimodal predictor failed to learn an always-taken branch")
+	}
+	// A loop branch: taken N-1 times, not-taken once. The 2-bit counter
+	// should mispredict ~once per loop visit, not twice.
+	p2 := NewPredictor(256)
+	mis := 0
+	for visit := 0; visit < 100; visit++ {
+		for it := 0; it < 9; it++ {
+			taken := it < 8
+			pred := p2.Predict(pc)
+			if pred != taken {
+				mis++
+			}
+			p2.Train(pc, taken, pred != taken)
+		}
+	}
+	if mis > 120 || mis < 80 {
+		t.Fatalf("loop mispredicts = %d over 100 visits, want ~100", mis)
+	}
+}
+
+func TestPredictorAliasing(t *testing.T) {
+	p := NewPredictor(2)
+	// Two branches aliasing onto a 2-entry table with opposite bias fight.
+	a, b := uint64(0x100), uint64(0x108)
+	for i := 0; i < 64; i++ {
+		p.Train(a, true, false)
+		p.Train(b, false, false)
+	}
+	// Just verify it doesn't blow up and counts lookups.
+	p.Predict(a)
+	p.Predict(b)
+	if p.Lookups != 2 {
+		t.Fatalf("lookups = %d", p.Lookups)
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two predictor accepted")
+		}
+	}()
+	NewPredictor(100)
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(64)
+	if _, ok := b.Lookup(0x400); ok {
+		t.Fatal("cold BTB hit")
+	}
+	b.Train(0x400, 0x900)
+	if tgt, ok := b.Lookup(0x400); !ok || tgt != 0x900 {
+		t.Fatalf("BTB lookup = %#x,%v", tgt, ok)
+	}
+	// A conflicting PC evicts (direct mapped).
+	b.Train(0x400+64*4, 0xAAA)
+	if _, ok := b.Lookup(0x400); ok {
+		t.Fatal("direct-mapped conflict not evicted")
+	}
+}
+
+func TestLSQForwardingSearch(t *testing.T) {
+	q := NewLSQBank(8)
+	q.Insert(LSQEntry{Seq: 10, Word: 0x100, IsLoad: false, DataReady: true, Data: 7})
+	q.Insert(LSQEntry{Seq: 20, Word: 0x100, IsLoad: false, DataReady: true, Data: 9})
+	q.Insert(LSQEntry{Seq: 25, Word: 0x108, IsLoad: false, DataReady: true, Data: 3})
+	// A load at seq 30 must forward from the YOUNGEST older store (20).
+	fwd := q.LatestOlderStore(30, 0x100)
+	if fwd == nil || fwd.Seq != 20 || fwd.Data != 9 {
+		t.Fatalf("forward = %+v", fwd)
+	}
+	// A load at seq 15 sees only store 10.
+	fwd = q.LatestOlderStore(15, 0x100)
+	if fwd == nil || fwd.Seq != 10 {
+		t.Fatalf("forward = %+v", fwd)
+	}
+	// No older store for seq 5.
+	if q.LatestOlderStore(5, 0x100) != nil {
+		t.Fatal("phantom forward")
+	}
+	// Different word: no match.
+	if q.LatestOlderStore(30, 0x110) != nil {
+		t.Fatal("wrong-address forward")
+	}
+}
+
+func TestLSQViolationSearch(t *testing.T) {
+	q := NewLSQBank(8)
+	// Loads younger than an arriving store, some already performed.
+	q.Insert(LSQEntry{Seq: 30, Word: 0x200, IsLoad: true, Checked: true})
+	q.Insert(LSQEntry{Seq: 40, Word: 0x200, IsLoad: true, Checked: true})
+	q.Insert(LSQEntry{Seq: 35, Word: 0x200, IsLoad: true})                // not yet performed
+	q.Insert(LSQEntry{Seq: 50, Word: 0x208, IsLoad: true, Checked: true}) // other word
+	// The paper's check (Fig. 9): committing store at seq 25 finds the
+	// OLDEST younger checked load to the same word.
+	seq, ok := q.OldestViolatingLoad(25, 0x200)
+	if !ok || seq != 30 {
+		t.Fatalf("violation = %d,%v; want 30", seq, ok)
+	}
+	if q.Violations != 1 {
+		t.Fatalf("violations = %d", q.Violations)
+	}
+	// Store younger than all loads: no violation.
+	if _, ok := q.OldestViolatingLoad(60, 0x200); ok {
+		t.Fatal("younger store cannot be violated")
+	}
+}
+
+func TestLSQSquashAndRemove(t *testing.T) {
+	q := NewLSQBank(8)
+	for _, s := range []uint64{1, 5, 9, 12} {
+		q.Insert(LSQEntry{Seq: s, Word: 0x40})
+	}
+	if dropped := q.SquashYoungerOrEqual(9); dropped != 2 {
+		t.Fatalf("dropped %d, want 2", dropped)
+	}
+	if q.Find(9) != nil || q.Find(12) != nil || q.Find(5) == nil {
+		t.Fatal("squash boundary wrong")
+	}
+	if !q.Remove(5) || q.Remove(5) {
+		t.Fatal("remove semantics wrong")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestLSQCapacity(t *testing.T) {
+	q := NewLSQBank(2)
+	if !q.Insert(LSQEntry{Seq: 1}) || !q.Insert(LSQEntry{Seq: 2}) {
+		t.Fatal("inserts under capacity failed")
+	}
+	if q.Insert(LSQEntry{Seq: 3}) {
+		t.Fatal("overfull insert accepted")
+	}
+	if !q.Full() {
+		t.Fatal("Full() wrong")
+	}
+}
+
+// TestLSQAgeOrderProperty: forwarding always returns the maximum store seq
+// strictly below the load, among same-word stores.
+func TestLSQAgeOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewLSQBank(64)
+		type st struct{ seq, word uint64 }
+		var stores []st
+		used := map[uint64]bool{}
+		for i := 0; i < 30; i++ {
+			seq := uint64(rng.Intn(1000))
+			if used[seq] {
+				continue
+			}
+			used[seq] = true
+			word := uint64(rng.Intn(4)) * 8
+			q.Insert(LSQEntry{Seq: seq, Word: word, IsLoad: false, DataReady: true})
+			stores = append(stores, st{seq, word})
+		}
+		loadSeq := uint64(rng.Intn(1000))
+		word := uint64(rng.Intn(4)) * 8
+		var want uint64
+		found := false
+		for _, s := range stores {
+			if s.word == word && s.seq < loadSeq && (!found || s.seq > want) {
+				want, found = s.seq, true
+			}
+		}
+		got := q.LatestOlderStore(loadSeq, word)
+		if found != (got != nil) {
+			return false
+		}
+		return !found || got.Seq == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRMergeAndCapacity(t *testing.T) {
+	m := NewMSHRSet(2)
+	alloc, merged := m.Request(0x100, 1, true)
+	if !alloc || merged {
+		t.Fatal("first request must allocate")
+	}
+	alloc, merged = m.Request(0x100, 2, true)
+	if alloc || !merged {
+		t.Fatal("same-line request must merge")
+	}
+	alloc, merged = m.Request(0x200, 3, true)
+	if !alloc {
+		t.Fatal("second line must allocate")
+	}
+	alloc, merged = m.Request(0x300, 4, true)
+	if alloc || merged {
+		t.Fatal("full MSHR set must reject")
+	}
+	if m.FullStalls != 1 || m.Merges != 1 {
+		t.Fatalf("stats %d/%d", m.FullStalls, m.Merges)
+	}
+	w := m.Complete(0x100)
+	if len(w) != 2 || w[0] != 1 || w[1] != 2 {
+		t.Fatalf("waiters = %v", w)
+	}
+	if m.Len() != 1 || m.Outstanding(0x100) {
+		t.Fatal("completion bookkeeping wrong")
+	}
+}
+
+func TestMSHRDropWaiters(t *testing.T) {
+	m := NewMSHRSet(4)
+	m.Request(0x100, 10, true)
+	m.Request(0x100, 20, true)
+	m.Request(0x100, 30, true)
+	m.DropWaiters(20)
+	w := m.Complete(0x100)
+	if len(w) != 1 || w[0] != 10 {
+		t.Fatalf("waiters after flush = %v", w)
+	}
+}
+
+func TestMSHRUntracked(t *testing.T) {
+	m := NewMSHRSet(4)
+	if alloc, _ := m.Request(0x500, 0, false); !alloc {
+		t.Fatal("prefetch should allocate")
+	}
+	if w := m.Complete(0x500); len(w) != 0 {
+		t.Fatalf("prefetch has waiters: %v", w)
+	}
+}
+
+func TestStoreBuffer(t *testing.T) {
+	b := NewStoreBuffer(2)
+	if _, ok := b.Head(); ok {
+		t.Fatal("empty buffer has a head")
+	}
+	b.Push(StoreBufEntry{Seq: 1, Word: 8})
+	b.Push(StoreBufEntry{Seq: 2, Word: 16})
+	if b.Push(StoreBufEntry{Seq: 3}) {
+		t.Fatal("overfull push accepted")
+	}
+	h, ok := b.Head()
+	if !ok || h.Seq != 1 {
+		t.Fatalf("head = %+v", h)
+	}
+	b.Pop()
+	h, _ = b.Head()
+	if h.Seq != 2 || b.Len() != 1 {
+		t.Fatal("FIFO order broken")
+	}
+	b.Pop()
+	b.Pop() // popping empty is a no-op
+	if b.Len() != 0 {
+		t.Fatal("len after drain")
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	// A strict alternating branch defeats bimodal but is trivial for
+	// zero-lag gshare once the history register warms up.
+	g := NewGShare(1024, 0)
+	p := NewPredictor(1024)
+	pc := uint64(0x500)
+	gMis, pMis := 0, 0
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		if g.Predict(pc) != taken {
+			gMis++
+		}
+		g.Train(pc, taken, false)
+		if p.Predict(pc) != taken {
+			pMis++
+		}
+		p.Train(pc, taken, false)
+	}
+	if gMis > 40 {
+		t.Fatalf("gshare mispredicted alternation %d/400 times", gMis)
+	}
+	if pMis < 150 {
+		t.Fatalf("bimodal should fail on alternation, only %d/400 wrong", pMis)
+	}
+}
+
+func TestGShareLagDegradesAccuracy(t *testing.T) {
+	// With a large cross-Slice delay the alternating pattern's most recent
+	// outcomes are invisible, costing accuracy relative to zero lag.
+	run := func(lag int) int {
+		g := NewGShare(1024, lag)
+		mis := 0
+		pc := uint64(0x700)
+		for i := 0; i < 600; i++ {
+			taken := i%2 == 0
+			if g.Predict(pc) != taken {
+				mis++
+			}
+			g.Train(pc, taken, false)
+		}
+		return mis
+	}
+	if fast, slow := run(0), run(1); slow < fast {
+		t.Fatalf("lag should not improve an alternating pattern: %d vs %d", fast, slow)
+	}
+}
+
+func TestGShareValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGShare(100, 0) },
+		func() { NewGShare(64, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid gshare accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,791 @@
+package vcore
+
+import (
+	"fmt"
+	"math"
+
+	"sharing/internal/cache"
+	"sharing/internal/isa"
+	"sharing/internal/noc"
+	"sharing/internal/slice"
+	"sharing/internal/trace"
+)
+
+// Uncore is the memory system beyond the per-Slice L1s: the VM's allocated
+// L2 cache banks, the directory, and main memory. It is provided by the
+// machine model (internal/sim) so that several VCores of one VM share banks,
+// networks, and the memory channel.
+type Uncore interface {
+	// L2Load requests the 64-byte line containing addr for reading, issued
+	// from tile `from` at cycle now. It returns the cycle at which the line
+	// is available at `from`, modelling network, bank port, bank access and
+	// (on an L2 miss) main memory.
+	L2Load(now int64, from noc.Coord, addr uint64) int64
+	// StoreVisible makes a committed store to addr globally visible at the
+	// coherence point, invalidating sharers in other VCores of the VM. It
+	// returns the extra cycles the write must wait (0 when no remote sharer
+	// holds the line).
+	StoreVisible(now int64, from noc.Coord, addr uint64) int64
+	// WritebackDirty models a dirty L1 line eviction written back to the
+	// line's home bank.
+	WritebackDirty(now int64, from noc.Coord, addr uint64)
+}
+
+// unknown is the sentinel "not yet determined" timestamp.
+const unknown = math.MaxInt64 / 4
+
+// ring sizing: in-flight instructions are bounded by the total ROB
+// (8 Slices x 64 entries = 512), so a 2048-entry ring gives slack.
+const (
+	ringBits = 11
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+)
+
+// instruction lifecycle states.
+const (
+	stEmpty uint8 = iota
+	stInBuf
+	stInWindow
+	stIssued
+	stDone
+)
+
+// waiter records a consumer waiting for a producer's result.
+type waiter struct {
+	seq  uint64
+	gen  uint32
+	slot uint8 // 0 = src1/address, 1 = src2/store-data
+}
+
+// instFlight is the in-flight state of one dynamic instruction.
+type instFlight struct {
+	gen   uint32
+	state uint8
+	sl    int8 // fetch/execute Slice (owner of the PC)
+	owner int8 // LSQ bank Slice for memory ops (owner of the line)
+
+	predTaken  bool
+	scheduled  bool // execDone determined
+	arrived    bool // memory op: address arrived at LSQ bank
+	dataSent   bool // store: data message sent toward the bank
+	dataInBank bool
+	dataKnown  bool // store: data value determined
+
+	pendingSrc int8
+	readyAt    int64 // cycle operands are available for issue
+	execDone   int64 // cycle result is available at Slice sl
+	dataAt     int64 // store: cycle data value is available at Slice sl
+
+	val     uint64
+	dataVal uint64
+	word    uint64 // memory ops: 8-byte-aligned effective address
+
+	waiters    []waiter
+	fwdWaiters []waiter // loads waiting on this store's data in the bank
+	availAt    [MaxSlices]int64
+	reqAt      [MaxSlices]int64
+}
+
+// regCopy caches where and when a committed architectural value became
+// available at a given Slice (an LRF copy created by an earlier operand
+// request).
+type regCopy struct {
+	writer int64 // producing seq, -1 if none
+	avail  int64
+}
+
+// regRet tracks the last committed writer of each architectural register.
+type regRet struct {
+	writer int64
+	sl     int8
+}
+
+// Engine is the cycle-level model of one VCore executing one thread trace.
+type Engine struct {
+	cfg     Config
+	tr      []isa.Inst
+	name    string
+	deps1   []int32
+	deps2   []int32
+	uncore  Uncore
+	opNet   *noc.Network
+	sortNet *noc.Network
+	pos     []noc.Coord
+
+	// Per-Slice structures.
+	pred    []*slice.Predictor
+	gshare  *slice.GShare // optional VCore-wide global predictor
+	btb     []*slice.BTB
+	l1i     []*cache.Cache
+	l1d     []*cache.Cache
+	lsq     []*slice.LSQBank
+	mshr    []*slice.MSHRSet
+	imshr   []*slice.MSHRSet
+	sbuf    []*slice.StoreBuffer
+	instBuf [][]uint64
+	aluWin  [][]uint64
+	lsWin   [][]uint64
+
+	robCount   []int
+	lrfCount   []int
+	globalDest int
+
+	aluBusy   []int64
+	lsBusy    []int64
+	l1dPort   []int64
+	drainBusy []bool
+
+	// Front end.
+	fetchSeq          uint64
+	renameHead        uint64
+	fetchBlockedUntil int64
+	blockedBranch     int64 // seq of unresolved mispredicted branch, -1 none
+	waitLine          uint64
+	waitSlice         int
+	waitingIFill      bool
+
+	// Back end.
+	commitHead uint64
+	lastCommit int64
+
+	fl [ringSize]instFlight
+
+	regRetVal [isa.NumArchRegs]uint64
+	regRetPos [isa.NumArchRegs]regRet
+	copies    [isa.NumArchRegs][MaxSlices]regCopy
+
+	committedMem map[uint64]uint64
+
+	events eventQueue
+	stats  Stats
+
+	// Barrier pacing for multithreaded workloads.
+	barriers   []int
+	barrierIdx int
+	atBarrier  bool
+
+	err error
+}
+
+// New builds an Engine for tr on a VCore whose Slices sit at positions pos
+// (len(pos) == cfg.NumSlices, contiguous per the paper's placement rule).
+func New(cfg Config, tr *trace.Trace, pos []noc.Coord, opNet, sortNet *noc.Network, uncore Uncore) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pos) != cfg.NumSlices {
+		return nil, fmt.Errorf("vcore: %d slice positions for %d slices", len(pos), cfg.NumSlices)
+	}
+	if tr == nil || len(tr.Insts) == 0 {
+		return nil, fmt.Errorf("vcore: empty trace")
+	}
+	e := &Engine{
+		cfg: cfg, tr: tr.Insts, name: tr.Name, uncore: uncore,
+		opNet: opNet, sortNet: sortNet, pos: pos,
+		committedMem:  make(map[uint64]uint64),
+		blockedBranch: -1,
+	}
+	n := cfg.NumSlices
+	for i := 0; i < n; i++ {
+		e.pred = append(e.pred, slice.NewPredictor(cfg.PredictorEntries))
+		e.btb = append(e.btb, slice.NewBTB(cfg.BTBEntries))
+		e.l1i = append(e.l1i, cache.New(cfg.L1I))
+		e.l1d = append(e.l1d, cache.New(cfg.L1D))
+		e.lsq = append(e.lsq, slice.NewLSQBank(cfg.LSQSize))
+		e.mshr = append(e.mshr, slice.NewMSHRSet(cfg.MSHRs))
+		e.imshr = append(e.imshr, slice.NewMSHRSet(4))
+		e.sbuf = append(e.sbuf, slice.NewStoreBuffer(cfg.StoreBufEntries))
+		e.instBuf = append(e.instBuf, nil)
+		e.aluWin = append(e.aluWin, nil)
+		e.lsWin = append(e.lsWin, nil)
+	}
+	e.robCount = make([]int, n)
+	e.lrfCount = make([]int, n)
+	e.aluBusy = make([]int64, n)
+	e.lsBusy = make([]int64, n)
+	e.l1dPort = make([]int64, n)
+	e.drainBusy = make([]bool, n)
+	if cfg.UseGShare {
+		e.gshare = slice.NewGShare(cfg.PredictorEntries, 2*(n-1))
+	}
+	for r := range e.regRetPos {
+		e.regRetPos[r] = regRet{writer: -1}
+	}
+	e.computeDeps()
+	return e, nil
+}
+
+// SetBarriers installs the instruction indices at which this thread must
+// rendezvous with its siblings (see trace.BarrierSet).
+func (e *Engine) SetBarriers(at []int) { e.barriers = at }
+
+// AtBarrier reports whether the engine is stopped at its current barrier.
+func (e *Engine) AtBarrier() bool { return e.atBarrier }
+
+// BarrierIndex returns how many barriers the engine has passed or reached.
+func (e *Engine) BarrierIndex() int { return e.barrierIdx }
+
+// ReleaseBarrier lets the engine continue past the current barrier at cycle
+// now plus a small rendezvous overhead.
+func (e *Engine) ReleaseBarrier(now int64) {
+	if e.atBarrier {
+		e.atBarrier = false
+		e.barrierIdx++
+		e.fetchBlockedUntil = maxi64(e.fetchBlockedUntil, now+20)
+	}
+}
+
+// computeDeps precomputes, for every trace instruction, the indices of the
+// instructions producing its register sources (-1 = initial value / r0).
+// This is exactly the true-dependence information rename would discover.
+func (e *Engine) computeDeps() {
+	n := len(e.tr)
+	e.deps1 = make([]int32, n)
+	e.deps2 = make([]int32, n)
+	var last [isa.NumArchRegs]int32
+	for r := range last {
+		last[r] = -1
+	}
+	for i := 0; i < n; i++ {
+		in := &e.tr[i]
+		e.deps1[i], e.deps2[i] = -1, -1
+		if ns := in.Op.NumSrc(); ns >= 1 && in.Src1 != isa.Zero {
+			e.deps1[i] = last[in.Src1]
+		} else if ns >= 1 && in.Src1 == isa.Zero {
+			e.deps1[i] = -1
+		}
+		if in.Op.NumSrc() >= 2 && in.Src2 != isa.Zero {
+			e.deps2[i] = last[in.Src2]
+		}
+		if in.Op.HasDest() && in.Dest != isa.Zero {
+			last[in.Dest] = int32(i)
+		}
+	}
+}
+
+// owner Slice of a PC: fetch is interleaved on aligned instruction pairs, so
+// the same PC always maps to the same Slice (§3.1).
+func (e *Engine) pcOwner(pc uint64) int { return int((pc >> 3) % uint64(e.cfg.NumSlices)) }
+
+// owner Slice of a data line: accesses are low-order interleaved by cache
+// line across the VCore's LSQ banks and L1Ds (§3.5, §3.6).
+func (e *Engine) lineOwner(addr uint64) int { return int((addr >> 6) % uint64(e.cfg.NumSlices)) }
+
+// l1dIndex strips the Slice-interleave bits from a data line address before
+// it indexes a Slice-private L1D. Within one Slice all resident lines share
+// the same interleave residue, so without this the set-index bits would
+// correlate with the residue and only 1/NumSlices of the sets would ever be
+// used. The mapping is bijective per Slice.
+func (e *Engine) l1dIndex(line uint64) uint64 {
+	return (line >> 6) / uint64(e.cfg.NumSlices) << 6
+}
+
+// l1iIndex is the same for the 8-byte instruction-cache lines.
+func (e *Engine) l1iIndex(line uint64) uint64 {
+	return (line >> 3) / uint64(e.cfg.NumSlices) << 3
+}
+
+// pcIndex de-interleaves a PC before it indexes a Slice's branch predictor
+// or BTB, so effective predictor capacity grows with Slice count as the
+// paper describes (§3.1) instead of aliasing onto 1/NumSlices of each table.
+func (e *Engine) pcIndex(pc uint64) uint64 {
+	return (pc>>3)/uint64(e.cfg.NumSlices)<<3 | (pc & 7)
+}
+
+func (e *Engine) flight(seq uint64) *instFlight { return &e.fl[seq&ringMask] }
+
+// Done reports whether the whole trace has committed.
+func (e *Engine) Done() bool { return e.commitHead >= uint64(len(e.tr)) }
+
+// Err returns the first internal error (e.g. watchdog deadlock detection).
+func (e *Engine) Err() error { return e.err }
+
+// Stats returns the engine's statistics (valid once Done).
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Committed returns the number of committed instructions.
+func (e *Engine) Committed() uint64 { return e.commitHead }
+
+// FinalState exposes the committed architectural state for golden-model
+// comparison against the functional interpreter.
+func (e *Engine) FinalState() *isa.ArchState {
+	s := isa.NewArchState()
+	s.Regs = e.regRetVal
+	for k, v := range e.committedMem {
+		s.Mem[k] = v
+	}
+	return s
+}
+
+// InvalidateL1 removes a line from this VCore's owning Slice's L1D (called
+// by the machine when another VCore of the VM writes the line).
+func (e *Engine) InvalidateL1(addr uint64) {
+	o := e.lineOwner(addr)
+	e.l1d[o].Invalidate(e.l1dIndex(addr &^ 63))
+}
+
+// Tick advances the engine by one cycle.
+func (e *Engine) Tick(now int64) {
+	if e.Done() || e.err != nil {
+		return
+	}
+	e.stats.Cycles = now + 1
+	e.processEvents(now)
+	e.commit(now)
+	e.issue(now)
+	e.dispatch(now)
+	e.fetch(now)
+	if now-e.lastCommit > 400000 {
+		e.err = fmt.Errorf("vcore: %s: no commit progress for %d cycles at cycle %d (head %d/%d, state %d)",
+			e.name, now-e.lastCommit, now, e.commitHead, len(e.tr), e.flight(e.commitHead).state)
+	}
+}
+
+// Run executes the trace to completion for a standalone (single-VCore,
+// single-thread) simulation and returns total cycles.
+func (e *Engine) Run() (int64, error) {
+	var t int64
+	for !e.Done() {
+		e.Tick(t)
+		if e.err != nil {
+			return t, e.err
+		}
+		t++
+	}
+	e.stats.Cycles = t
+	return t, nil
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+
+func (e *Engine) commit(now int64) {
+	var perSlice [MaxSlices]int
+	total := 0
+	budget := e.cfg.CommitPerSlice * e.cfg.NumSlices
+	for total < budget && !e.Done() {
+		if e.atBarrier {
+			e.stats.BarrierWaits++
+			return
+		}
+		seq := e.commitHead
+		f := e.flight(seq)
+		if f.state != stDone {
+			return
+		}
+		sl := int(f.sl)
+		if perSlice[sl] >= e.cfg.CommitPerSlice {
+			return
+		}
+		in := &e.tr[seq]
+		switch {
+		case in.Op.IsStore():
+			o := int(f.owner)
+			if e.sbuf[o].Full() {
+				e.stats.CommitStallStoreB++
+				return
+			}
+			e.committedMem[f.word] = f.dataVal
+			e.lsq[o].Remove(seq)
+			e.sbuf[o].Push(slice.StoreBufEntry{Seq: seq, Word: f.word})
+			if !e.drainBusy[o] {
+				e.drainBusy[o] = true
+				e.events.push(now+1, evDrain, uint64(o), 0, 0)
+			}
+		case in.Op.IsLoad():
+			e.lsq[int(f.owner)].Remove(seq)
+		}
+		if in.Op.HasDest() && in.Dest != isa.Zero {
+			e.regRetVal[in.Dest] = f.val
+			e.regRetPos[in.Dest] = regRet{writer: int64(seq), sl: f.sl}
+			e.lrfCount[sl]--
+			e.globalDest--
+		}
+		e.robCount[sl]--
+		f.state = stEmpty
+		f.waiters = nil
+		f.fwdWaiters = nil
+		e.commitHead++
+		e.lastCommit = now
+		e.stats.Committed++
+		perSlice[sl]++
+		total++
+		// Barrier rendezvous (multithreaded workloads).
+		if e.barrierIdx < len(e.barriers) && e.commitHead >= uint64(e.barriers[e.barrierIdx]) &&
+			e.fetchSeq >= uint64(e.barriers[e.barrierIdx]) {
+			e.atBarrier = true
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Issue
+
+func (e *Engine) issue(now int64) {
+	for k := 0; k < e.cfg.NumSlices; k++ {
+		if e.aluBusy[k] <= now {
+			if seq, ok := pickReady(e.aluWin[k], e, now); ok {
+				e.issueALU(now, k, seq)
+			}
+		}
+		if e.lsBusy[k] <= now {
+			if seq, ok := pickReadyLS(e.lsWin[k], e, now); ok {
+				e.issueLS(now, k, seq)
+			}
+		}
+	}
+}
+
+// pickReady returns the oldest window entry whose operands are available.
+func pickReady(win []uint64, e *Engine, now int64) (uint64, bool) {
+	for _, seq := range win {
+		f := e.flight(seq)
+		if f.state == stInWindow && f.pendingSrc == 0 && f.readyAt <= now {
+			return seq, true
+		}
+	}
+	return 0, false
+}
+
+// pickReadyLS is like pickReady; for stores only the address operand gates
+// issue (data follows separately, §3.6).
+func pickReadyLS(win []uint64, e *Engine, now int64) (uint64, bool) {
+	return pickReady(win, e, now) // pendingSrc for memory ops counts address deps only
+}
+
+func (e *Engine) issueALU(now int64, k int, seq uint64) {
+	f := e.flight(seq)
+	in := &e.tr[seq]
+	lat := int64(in.Op.Latency())
+	e.aluBusy[k] = now + 1
+	if in.Op.Class() == isa.ClassDiv {
+		e.aluBusy[k] = now + lat // divider is unpipelined
+	}
+	e.removeFromWindow(&e.aluWin[k], seq)
+	f.state = stIssued
+	if in.Op.HasDest() {
+		f.val = in.Eval(e.srcVal(seq, 0), e.srcVal(seq, 1))
+	}
+	f.execDone = now + lat
+	f.scheduled = true
+	e.notifyWaiters(seq)
+	if in.Op.IsBranch() {
+		e.events.push(now+lat, evBranchResolve, seq, f.gen, 0)
+	} else {
+		e.events.push(now+lat, evComplete, seq, f.gen, 0)
+	}
+}
+
+// srcVal returns the value of a source operand at issue time.
+func (e *Engine) srcVal(seq uint64, slot int) uint64 {
+	dep := e.dep(seq, slot)
+	if dep < 0 {
+		return 0
+	}
+	if uint64(dep) >= e.commitHead {
+		return e.flight(uint64(dep)).val
+	}
+	return e.regRetVal[e.tr[dep].Dest]
+}
+
+func (e *Engine) dep(seq uint64, slot int) int32 {
+	if slot == 0 {
+		return e.deps1[seq]
+	}
+	return e.deps2[seq]
+}
+
+func (e *Engine) removeFromWindow(win *[]uint64, seq uint64) {
+	w := *win
+	for i, s := range w {
+		if s == seq {
+			*win = append(w[:i], w[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (rename)
+
+func (e *Engine) renameLatency() int64 {
+	if e.cfg.NumSlices > 1 {
+		return 1 + e.cfg.RenameExtra
+	}
+	return 1
+}
+
+// dispatch renames instructions in global program order (rename operates on
+// fetch groups in order, §3.2.1: the master-Slice correction step imposes a
+// total order, and a stall "ripples back" to all Slices). Stopping at the
+// first blocked instruction also guarantees the oldest undispatched
+// instruction can never starve behind younger ones for the shared global
+// register space.
+func (e *Engine) dispatch(now int64) {
+	var cnt [MaxSlices]int
+	for e.renameHead < e.fetchSeq {
+		seq := e.renameHead
+		f := e.flight(seq)
+		if f.state != stInBuf {
+			break
+		}
+		k := int(f.sl)
+		if cnt[k] >= e.cfg.RenamePerSlice {
+			break
+		}
+		in := &e.tr[seq]
+		isLS := in.Op.IsMemory()
+		if isLS && len(e.lsWin[k]) >= e.cfg.LSWindow {
+			e.stats.RenameStallWindow++
+			break
+		}
+		if !isLS && len(e.aluWin[k]) >= e.cfg.IssueWindow {
+			e.stats.RenameStallWindow++
+			break
+		}
+		if e.robCount[k] >= e.cfg.ROBPerSlice {
+			e.stats.RenameStallWindow++
+			break
+		}
+		hasDest := in.Op.HasDest() && in.Dest != isa.Zero
+		if hasDest && (e.lrfCount[k] >= e.cfg.LRFPerSlice || e.globalDest >= e.cfg.GlobalRegs) {
+			e.stats.RenameStallWindow++
+			break
+		}
+		if len(e.instBuf[k]) == 0 || e.instBuf[k][0] != seq {
+			break // should not happen: per-Slice buffers follow fetch order
+		}
+		e.instBuf[k] = e.instBuf[k][1:]
+		e.robCount[k]++
+		if hasDest {
+			e.lrfCount[k]++
+			e.globalDest++
+		}
+		f.state = stInWindow
+		tR := now + e.renameLatency()
+		f.readyAt = tR + 1
+		f.pendingSrc = 0
+		e.resolveOperands(seq, tR)
+		if isLS {
+			e.lsWin[k] = append(e.lsWin[k], seq)
+		} else {
+			e.aluWin[k] = append(e.aluWin[k], seq)
+		}
+		e.renameHead++
+		cnt[k]++
+	}
+}
+
+// resolveOperands wires up the instruction's source dependences at dispatch
+// time tR, sending operand requests over the SON where needed.
+func (e *Engine) resolveOperands(seq uint64, tR int64) {
+	f := e.flight(seq)
+	in := &e.tr[seq]
+	// Slot 0: src1 (address base for memory ops).
+	if in.Op.NumSrc() >= 1 {
+		e.resolveSlot(seq, 0, tR)
+	}
+	// Slot 1: src2. For stores this is the data operand and does not gate
+	// issue; for everything else it is a normal source.
+	if in.Op.NumSrc() >= 2 {
+		if in.Op.IsStore() {
+			e.resolveStoreData(seq, tR)
+		} else {
+			e.resolveSlot(seq, 1, tR)
+		}
+	} else if in.Op.IsStore() {
+		// Store with r0 data.
+		f.dataKnown = true
+		f.dataAt = tR
+		f.dataVal = 0
+	}
+}
+
+// resolveSlot computes when the operand in the given slot is available at
+// the instruction's Slice, registering a waiter if the producer's completion
+// is not yet scheduled.
+func (e *Engine) resolveSlot(seq uint64, slot uint8, tR int64) {
+	f := e.flight(seq)
+	avail, pending := e.operandAvail(seq, slot, tR)
+	if pending {
+		f.pendingSrc++
+		return
+	}
+	if avail > f.readyAt {
+		f.readyAt = avail
+	}
+}
+
+// resolveStoreData tracks a store's data operand.
+func (e *Engine) resolveStoreData(seq uint64, tR int64) {
+	avail, pending := e.operandAvail(seq, 1, tR)
+	if pending {
+		return // waiter registered; completion will call storeDataReady
+	}
+	e.storeDataReady(seq, avail)
+}
+
+// storeDataReady records that the store's data value is available at its
+// issuing Slice at cycle avail, and ships it to the LSQ bank if the address
+// part has already been sent.
+func (e *Engine) storeDataReady(seq uint64, avail int64) {
+	f := e.flight(seq)
+	f.dataKnown = true
+	f.dataAt = avail
+	f.dataVal = e.srcVal(seq, 1)
+	if f.state == stIssued || f.state == stDone {
+		e.sendStoreData(avail, seq)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+
+func (e *Engine) fetch(now int64) {
+	if e.fetchSeq >= uint64(len(e.tr)) {
+		return
+	}
+	if e.atBarrier {
+		return
+	}
+	if e.barrierIdx < len(e.barriers) && e.fetchSeq >= uint64(e.barriers[e.barrierIdx]) {
+		// Hold fetch at the barrier boundary until commit catches up and
+		// the coordinator releases us.
+		if e.commitHead >= uint64(e.barriers[e.barrierIdx]) {
+			e.atBarrier = true
+		}
+		return
+	}
+	if e.waitingIFill {
+		e.stats.FetchStallICache++
+		return
+	}
+	if e.blockedBranch >= 0 {
+		e.stats.FetchStallBranch++
+		return
+	}
+	if e.fetchBlockedUntil > now {
+		e.stats.FetchStallBubble++
+		return
+	}
+	var cnt [MaxSlices]int
+	first := true
+	for e.fetchSeq < uint64(len(e.tr)) {
+		if e.barrierIdx < len(e.barriers) && e.fetchSeq >= uint64(e.barriers[e.barrierIdx]) {
+			break
+		}
+		seq := e.fetchSeq
+		in := &e.tr[seq]
+		k := e.pcOwner(in.PC)
+		if first && in.PC&7 != 0 {
+			// Group starts in the middle of an aligned pair: the owning
+			// Slice burns one of its two fetch slots.
+			cnt[k]++
+		}
+		if cnt[k] >= e.cfg.FetchPerSlice {
+			break
+		}
+		if len(e.instBuf[k]) >= e.cfg.InstBufEntries {
+			if first {
+				e.stats.FetchStallBuf++
+			}
+			break
+		}
+		// Instruction cache.
+		line := in.PC &^ 7
+		if !e.l1i[k].Lookup(e.l1iIndex(line), false) {
+			e.stats.L1IMisses++
+			e.startIFill(now, k, line, true)
+			break
+		}
+		e.stats.L1IHits++
+		// Accept.
+		f := e.flight(seq)
+		*f = instFlight{gen: f.gen, state: stInBuf, sl: int8(k), readyAt: unknown, execDone: unknown, dataAt: unknown}
+		e.instBuf[k] = append(e.instBuf[k], seq)
+		e.fetchSeq++
+		cnt[k]++
+		first = false
+		if in.Op.IsBranch() {
+			if e.handleBranchFetch(now, k, seq, in) {
+				break
+			}
+			continue
+		}
+	}
+}
+
+// handleBranchFetch applies prediction at fetch time. It returns true if the
+// fetch group must end after this branch.
+func (e *Engine) handleBranchFetch(now int64, k int, seq uint64, in *isa.Inst) bool {
+	f := e.flight(seq)
+	if in.Op == isa.OpJmp {
+		f.predTaken = true
+		if _, ok := e.btb[k].Lookup(e.pcIndex(in.PC)); !ok {
+			e.btb[k].MissTaken++
+			e.fetchBlockedUntil = now + 1 + e.cfg.BTBMissBubble
+		} else {
+			e.fetchBlockedUntil = now + 1
+		}
+		return true
+	}
+	var pred bool
+	if e.gshare != nil {
+		pred = e.gshare.Predict(e.pcIndex(in.PC))
+	} else {
+		pred = e.pred[k].Predict(e.pcIndex(in.PC))
+	}
+	f.predTaken = pred
+	if pred != in.Taken {
+		// Trace-driven simulation cannot fetch the wrong path; instead the
+		// front end stalls until the branch resolves, which costs the same
+		// cycles the flush-and-refill would.
+		e.blockedBranch = int64(seq)
+		return true
+	}
+	if in.Taken {
+		if _, ok := e.btb[k].Lookup(e.pcIndex(in.PC)); !ok {
+			e.btb[k].MissTaken++
+			e.fetchBlockedUntil = now + 1 + e.cfg.BTBMissBubble
+		} else {
+			e.fetchBlockedUntil = now + 1
+		}
+		return true
+	}
+	return false // correctly predicted not-taken: keep fetching
+}
+
+// startIFill requests an I-cache line fill (and next-line prefetches at the
+// Slice's stride, §3.5).
+func (e *Engine) startIFill(now int64, k int, line uint64, blockFetch bool) {
+	if blockFetch {
+		e.waitingIFill = true
+		e.waitLine = line
+		e.waitSlice = k
+	}
+	if alloc, _ := e.imshr[k].Request(line, 0, false); alloc {
+		done := e.uncore.L2Load(now, e.pos[k], line)
+		e.events.push(done, evIFill, uint64(k), 0, line)
+	}
+	// Next-line prefetch: this Slice's next lines are stride NumSlices*8
+	// away because fetch is pair-interleaved across Slices.
+	stride := uint64(e.cfg.NumSlices) * 8
+	for d := 1; d <= 4; d++ {
+		pl := line + uint64(d)*stride
+		if e.l1i[k].Contains(e.l1iIndex(pl)) {
+			continue
+		}
+		if alloc, _ := e.imshr[k].Request(pl, 0, false); alloc {
+			done := e.uncore.L2Load(now, e.pos[k], pl)
+			e.events.push(done, evIFill, uint64(k), 0, pl)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package vcore
+
+import "container/heap"
+
+// evKind enumerates the Engine's internal event types.
+type evKind uint8
+
+const (
+	// evComplete: an instruction's result becomes available at its Slice.
+	evComplete evKind = iota
+	// evBranchResolve: a branch executes and its prediction is verified.
+	evBranchResolve
+	// evLoadArrive: a sorted load (address) arrives at its LSQ bank.
+	evLoadArrive
+	// evStoreArrive: a sorted store address arrives at its LSQ bank.
+	evStoreArrive
+	// evStoreData: a store's data value arrives at its LSQ bank.
+	evStoreData
+	// evLoadRetry: a load retries its bank access (MSHR or bank full).
+	evLoadRetry
+	// evIFill: an instruction-cache line fill completes at a Slice.
+	evIFill
+	// evDrain: a Slice's store buffer should attempt to drain its head.
+	evDrain
+	// evLoadFill: an outstanding L1D line fill completes at a Slice.
+	evLoadFill
+)
+
+// event is one scheduled occurrence. gen guards against events that outlive
+// a pipeline flush of their instruction.
+type event struct {
+	at   int64
+	ord  uint64
+	kind evKind
+	seq  uint64 // instruction age tag (or Slice index for evDrain/evIFill)
+	gen  uint32
+	a    uint64 // kind-specific payload (e.g. line address)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].ord < h[j].ord
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// eventQueue is a deterministic time-ordered queue.
+type eventQueue struct {
+	h   eventHeap
+	ord uint64
+}
+
+func (q *eventQueue) push(at int64, kind evKind, seq uint64, gen uint32, a uint64) {
+	q.ord++
+	heap.Push(&q.h, event{at: at, ord: q.ord, kind: kind, seq: seq, gen: gen, a: a})
+}
+
+// popReady removes and returns the next event with at <= now, or ok=false.
+func (q *eventQueue) popReady(now int64) (event, bool) {
+	if len(q.h) == 0 || q.h[0].at > now {
+		return event{}, false
+	}
+	return heap.Pop(&q.h).(event), true
+}
+
+// nextAt returns the time of the earliest pending event.
+func (q *eventQueue) nextAt() (int64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}

@@ -1,0 +1,62 @@
+package vcore
+
+import "fmt"
+
+// Stats aggregates one VCore's execution statistics, including the
+// stage-based stall taxonomy SSim reports (§5.2).
+type Stats struct {
+	Cycles       int64
+	Committed    uint64
+	Squashed     uint64 // instructions flushed by mispredicts/violations
+	Mispredicts  uint64
+	Branches     uint64
+	Violations   uint64 // memory-ordering violations detected by the LSQ
+	LSQOverflows uint64 // squashes forced by a full LSQ bank blocking an older op
+	OperandMsgs  uint64 // operand requests+replies sent on the SON
+	SortMsgs     uint64 // load/store sorting messages
+	RemoteFwd    uint64 // store->load forwards within LSQ banks
+	L1DHits      uint64
+	L1DMisses    uint64
+	L1IHits      uint64
+	L1IMisses    uint64
+	L2Loads      uint64 // L1D misses sent to the uncore
+	BarrierWaits int64  // cycles spent waiting at barriers
+
+	// Fetch-stall taxonomy (cycles the front end made no progress).
+	FetchStallBranch  int64 // waiting on an unresolved predicted-wrong branch
+	FetchStallICache  int64 // waiting on an I-cache fill
+	FetchStallBuf     int64 // instruction buffers full (back-pressure)
+	FetchStallBubble  int64 // redirect bubbles (taken branches, BTB misses)
+	RenameStallWindow int64 // dispatch blocked on window/ROB/register space
+	CommitStallStoreB int64 // commit blocked on a full store buffer
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredicted branches per branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// L1DMissRate returns the L1 data-cache miss ratio.
+func (s *Stats) L1DMissRate() float64 {
+	t := s.L1DHits + s.L1DMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.L1DMisses) / float64(t)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d ipc=%.3f mispred=%.1f%% l1dmiss=%.1f%% viol=%d son=%d",
+		s.Cycles, s.Committed, s.IPC(), 100*s.MispredictRate(), 100*s.L1DMissRate(), s.Violations, s.OperandMsgs)
+}

@@ -1,0 +1,370 @@
+// Package workload synthesizes deterministic instruction traces that stand in
+// for the GEM5 Alpha full-system traces used by the paper (SPEC CINT2006,
+// Apache, and a PARSEC subset).
+//
+// Each named benchmark is described by a Profile: an opcode mix, a synthetic
+// control-flow graph (basic-block lengths, static code footprint, per-site
+// branch bias), a register dependency-distance distribution (which determines
+// exploitable ILP), and a hierarchy of working-set tiers (which determines
+// cache sensitivity). A Profile generates a fully value-consistent trace: the
+// reference interpreter in internal/isa can execute it, every branch's
+// recorded direction matches its operand values, and every memory effective
+// address equals base + offset. That consistency is what lets the timing
+// simulator be checked against a golden functional model.
+//
+// Profiles are calibrated so the qualitative behaviours the paper reports
+// emerge from simulation: omnetpp and mcf are strongly L2-sensitive while
+// astar/libquantum/gobmk are flat (Fig. 13); branchy codes stop scaling with
+// Slice count early while high-ILP codes reach ~4-5x (Fig. 12); PARSEC
+// threads have little ILP so intra-VCore speedup is bounded near 2; gcc has
+// ten distinct phases (Table 7).
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KB and MB are byte-size helpers for working-set tier declarations.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+)
+
+// WSTier is one tier of a benchmark's working-set hierarchy: Weight is the
+// probability that a (non-streaming) memory access falls in a resident region
+// of Size bytes.
+//
+// Two access patterns are supported. The default (Scan=false) draws lines
+// with Zipf popularity, so hit rate improves smoothly as more of the tier
+// fits in cache. Scan=true walks the tier cyclically line by line, which
+// under LRU yields the classic capacity cliff: almost no hits until the
+// whole tier fits, then almost all hits — the behaviour that makes
+// omnetpp/mcf-style benchmarks deeply cache-sensitive (Fig. 13).
+type WSTier struct {
+	Size   uint64
+	Weight float64
+	Scan   bool
+}
+
+// Mix is the dynamic opcode mix. The remainder after the named fractions is
+// simple single-cycle ALU work. BranchFrac is implied by block lengths rather
+// than listed here (one terminator per basic block).
+type Mix struct {
+	Load  float64
+	Store float64
+	Mul   float64
+	Div   float64
+}
+
+// Phase describes one execution phase of a benchmark. A benchmark with a
+// single phase uses its base parameters for the whole trace; gcc declares ten
+// phases per Table 7 of the paper.
+type Phase struct {
+	// Mix is the opcode mix during this phase.
+	Mix Mix
+	// MeanDep is the mean register dependency distance, in instructions.
+	// Larger values mean more independent work in flight (more ILP).
+	MeanDep float64
+	// AvgBlockLen is the mean basic-block length including the terminator.
+	AvgBlockLen int
+	// CodeBlocks is the number of static basic blocks (code footprint).
+	CodeBlocks int
+	// PredictableFrac is the fraction of branch sites that are strongly
+	// biased (and hence well predicted by the bimodal predictor).
+	PredictableFrac float64
+	// Tiers is the working-set hierarchy for this phase.
+	Tiers []WSTier
+	// StreamFrac is the fraction of memory accesses that stream through
+	// fresh cache lines (compulsory misses at every cache size).
+	StreamFrac float64
+	// PointerChase is the probability that a load's address base register
+	// is the destination of the previous load - the serial load-to-load
+	// chains of pointer-chasing codes (mcf, omnetpp, astar), which prevent
+	// MSHRs from overlapping misses.
+	PointerChase float64
+}
+
+// Profile fully describes one benchmark workload.
+type Profile struct {
+	// Name is the benchmark name ("gcc", "omnetpp", ...).
+	Name string
+	// Suite records provenance for reporting ("spec", "server", "parsec").
+	Suite string
+	// Threads is the number of hardware threads (1 for SPEC/Apache,
+	// 4 for the PARSEC subset, matching the paper's setup).
+	Threads int
+	// Phases holds at least one phase. Phases split the trace evenly.
+	Phases []Phase
+	// SharedReadFrac is, for multithreaded workloads, the fraction of loads
+	// that hit a read-only region shared by all threads.
+	SharedReadFrac float64
+	// FalseShareFrac is the fraction of stores that write thread-private
+	// words within shared cache lines, generating coherence invalidations
+	// without making the trace's values interleaving-dependent.
+	FalseShareFrac float64
+}
+
+// NumPhases returns the number of phases in the profile.
+func (p *Profile) NumPhases() int { return len(p.Phases) }
+
+// Validate checks that the profile's parameters are usable.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile has no name")
+	}
+	if p.Threads < 1 {
+		return fmt.Errorf("workload: %s: threads must be >= 1", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: %s: no phases", p.Name)
+	}
+	for i, ph := range p.Phases {
+		tot := ph.Mix.Load + ph.Mix.Store + ph.Mix.Mul + ph.Mix.Div
+		if tot > 0.9 {
+			return fmt.Errorf("workload: %s phase %d: mix fractions sum to %.2f > 0.9", p.Name, i, tot)
+		}
+		if ph.MeanDep < 1 {
+			return fmt.Errorf("workload: %s phase %d: MeanDep %.2f < 1", p.Name, i, ph.MeanDep)
+		}
+		if ph.AvgBlockLen < 3 {
+			return fmt.Errorf("workload: %s phase %d: AvgBlockLen %d < 3", p.Name, i, ph.AvgBlockLen)
+		}
+		if ph.CodeBlocks < 1 {
+			return fmt.Errorf("workload: %s phase %d: CodeBlocks %d < 1", p.Name, i, ph.CodeBlocks)
+		}
+		if ph.PredictableFrac < 0 || ph.PredictableFrac > 1 {
+			return fmt.Errorf("workload: %s phase %d: PredictableFrac out of [0,1]", p.Name, i)
+		}
+		if ph.StreamFrac < 0 || ph.StreamFrac > 1 {
+			return fmt.Errorf("workload: %s phase %d: StreamFrac out of [0,1]", p.Name, i)
+		}
+		var w float64
+		for _, t := range ph.Tiers {
+			if t.Size == 0 {
+				return fmt.Errorf("workload: %s phase %d: zero-size tier", p.Name, i)
+			}
+			w += t.Weight
+		}
+		if len(ph.Tiers) > 0 && (w < 0.99 || w > 1.01) {
+			return fmt.Errorf("workload: %s phase %d: tier weights sum to %.3f, want 1", p.Name, i, w)
+		}
+	}
+	return nil
+}
+
+// phase returns a one-phase profile base used as a building block.
+func phase(mix Mix, meanDep float64, blockLen, codeBlocks int, predictable float64, streamFrac float64, tiers ...WSTier) Phase {
+	return Phase{
+		Mix: mix, MeanDep: meanDep, AvgBlockLen: blockLen, CodeBlocks: codeBlocks,
+		PredictableFrac: predictable, StreamFrac: streamFrac, Tiers: tiers,
+	}
+}
+
+// chase marks a phase as pointer-chasing with the given load-to-load
+// dependence probability.
+func chase(ph Phase, p float64) Phase {
+	ph.PointerChase = p
+	return ph
+}
+
+// catalog is the registry of the 15 benchmarks the paper evaluates
+// (Apache + SPEC CINT2006 subset shown in the figures + PARSEC subset).
+//
+// Calibration notes refer to the paper's evaluation:
+//   - Fig. 12 (Slice scaling): high MeanDep + long blocks + predictable
+//     branches scale; short dependency chains and branchy code do not.
+//   - Fig. 13 (cache sensitivity): tier sizes above the L1 determine how much
+//     an L2 of a given size helps; StreamFrac sets the insensitive floor.
+//   - Tables 4/6/7 pin particular optima (gcc 128KB/2 for perf/area,
+//     hmmer 64KB/1 for perf^2/area, gobmk large configs, bzip 256KB/1, ...).
+var catalog = []Profile{
+	{
+		Name: "apache", Suite: "server", Threads: 1,
+		Phases: []Phase{phase(Mix{Load: 0.24, Store: 0.10, Mul: 0.01}, 3.4, 6, 1400, 0.86, 0.04,
+			WSTier{Size: 12 * KB, Weight: 0.72}, WSTier{Size: 96 * KB, Weight: 0.14},
+			WSTier{Size: 700 * KB, Weight: 0.14, Scan: true})},
+	},
+	{
+		Name: "bzip", Suite: "spec", Threads: 1,
+		Phases: []Phase{phase(Mix{Load: 0.26, Store: 0.09, Mul: 0.01}, 3.0, 7, 160, 0.82, 0.02,
+			WSTier{Size: 10 * KB, Weight: 0.70}, WSTier{Size: 190 * KB, Weight: 0.24, Scan: true},
+			WSTier{Size: 2 * MB, Weight: 0.06})},
+	},
+	{
+		Name: "gcc", Suite: "spec", Threads: 1,
+		// Ten phases per Table 7: early phases are high-ILP with large
+		// working sets, later phases are branchy with small working sets.
+		Phases: gccPhases(),
+	},
+	{
+		Name: "astar", Suite: "spec", Threads: 1,
+		// Pointer chasing: short dependency distances, small hot set plus
+		// streaming; nearly insensitive to L2 size (Fig. 13).
+		Phases: []Phase{chase(phase(Mix{Load: 0.30, Store: 0.05}, 1.7, 6, 120, 0.72, 0.12,
+			WSTier{Size: 10 * KB, Weight: 0.94}, WSTier{Size: 24 * MB, Weight: 0.06}), 0.5)},
+	},
+	{
+		Name: "libquantum", Suite: "spec", Threads: 1,
+		// Streaming vector-style loops: very predictable, high ILP,
+		// insensitive to L2 (compulsory misses dominate).
+		Phases: []Phase{phase(Mix{Load: 0.25, Store: 0.08, Mul: 0.02}, 5.5, 14, 40, 0.985, 0.30,
+			WSTier{Size: 8 * KB, Weight: 1.0})},
+	},
+	{
+		Name: "perlbench", Suite: "spec", Threads: 1,
+		Phases: []Phase{phase(Mix{Load: 0.27, Store: 0.11, Mul: 0.01}, 2.6, 5, 2400, 0.84, 0.03,
+			WSTier{Size: 12 * KB, Weight: 0.70}, WSTier{Size: 280 * KB, Weight: 0.20, Scan: true},
+			WSTier{Size: 3 * MB, Weight: 0.10})},
+	},
+	{
+		Name: "sjeng", Suite: "spec", Threads: 1,
+		// Game tree search: hard-to-predict branches cap Slice scaling.
+		Phases: []Phase{phase(Mix{Load: 0.22, Store: 0.08, Mul: 0.01}, 2.8, 5, 500, 0.58, 0.03,
+			WSTier{Size: 12 * KB, Weight: 0.80}, WSTier{Size: 600 * KB, Weight: 0.20})},
+	},
+	{
+		Name: "hmmer", Suite: "spec", Threads: 1,
+		// Tight recurrence in the Viterbi inner loop: almost no exploitable
+		// cross-Slice ILP and a cache-resident working set, so the optimal
+		// VCore stays at one Slice with little L2 (Table 4, Fig. 17).
+		Phases: []Phase{phase(Mix{Load: 0.28, Store: 0.10, Mul: 0.02}, 1.35, 9, 30, 0.97, 0.01,
+			WSTier{Size: 9 * KB, Weight: 0.95}, WSTier{Size: 40 * KB, Weight: 0.05})},
+	},
+	{
+		Name: "gobmk", Suite: "spec", Threads: 1,
+		// Go engine: plenty of independent board evaluations (scales to
+		// mid Slice counts) with a moderate working set; L2-insensitive
+		// beyond modest sizes (Fig. 13) but rewards ~256KB-1MB under
+		// perf^2/area (Table 4, Fig. 17 "big core" = 3 Slices + 256KB).
+		Phases: []Phase{phase(Mix{Load: 0.22, Store: 0.09, Mul: 0.01}, 4.6, 8, 700, 0.80, 0.02,
+			WSTier{Size: 12 * KB, Weight: 0.70}, WSTier{Size: 170 * KB, Weight: 0.22, Scan: true},
+			WSTier{Size: 800 * KB, Weight: 0.08})},
+	},
+	{
+		Name: "mcf", Suite: "spec", Threads: 1,
+		// Memory bound pointer chasing over a huge graph: sensitive to L2
+		// all the way to 8MB, minimal ILP.
+		Phases: []Phase{chase(phase(Mix{Load: 0.34, Store: 0.09}, 2.0, 7, 80, 0.85, 0.03,
+			WSTier{Size: 12 * KB, Weight: 0.52}, WSTier{Size: 400 * KB, Weight: 0.16, Scan: true},
+			WSTier{Size: 1200 * KB, Weight: 0.14, Scan: true}, WSTier{Size: 2200 * KB, Weight: 0.10, Scan: true},
+			WSTier{Size: 30 * MB, Weight: 0.08}), 0.7)},
+	},
+	{
+		Name: "omnetpp", Suite: "spec", Threads: 1,
+		// Discrete event simulation: the event heap and network state form
+		// a ~2-4MB working set with intense reuse - the paper's most
+		// cache-sensitive benchmark (Fig. 13, ~12x from 0 to 4-8MB).
+		Phases: []Phase{chase(phase(Mix{Load: 0.40, Store: 0.10, Mul: 0.01}, 2.0, 6, 400, 0.90, 0.0,
+			WSTier{Size: 12 * KB, Weight: 0.50}, WSTier{Size: 400 * KB, Weight: 0.18, Scan: true},
+			WSTier{Size: 1200 * KB, Weight: 0.22, Scan: true}, WSTier{Size: 2500 * KB, Weight: 0.10}), 0.6)},
+	},
+	{
+		Name: "h264ref", Suite: "spec", Threads: 1,
+		// Video encoding: regular loops, high ILP, multiplier heavy,
+		// medium working set.
+		Phases: []Phase{phase(Mix{Load: 0.25, Store: 0.10, Mul: 0.05}, 4.8, 11, 220, 0.93, 0.02,
+			WSTier{Size: 12 * KB, Weight: 0.80}, WSTier{Size: 350 * KB, Weight: 0.20})},
+	},
+	{
+		Name: "dedup", Suite: "parsec", Threads: 4,
+		// Pipeline-parallel dedup: per-thread ILP is low (hash chains), so
+		// Slice scaling is bounded near 2; heavy shared data.
+		Phases: []Phase{phase(Mix{Load: 0.27, Store: 0.12, Mul: 0.02}, 1.9, 7, 250, 0.87, 0.05,
+			WSTier{Size: 12 * KB, Weight: 0.70}, WSTier{Size: 500 * KB, Weight: 0.30, Scan: true})},
+		SharedReadFrac: 0.30, FalseShareFrac: 0.10,
+	},
+	{
+		Name: "swaptions", Suite: "parsec", Threads: 4,
+		// Monte Carlo pricing: compute bound, multiplier/divider heavy,
+		// tiny working set, serial recurrences per path.
+		Phases: []Phase{phase(Mix{Load: 0.18, Store: 0.06, Mul: 0.07, Div: 0.01}, 2.1, 12, 60, 0.96, 0.01,
+			WSTier{Size: 10 * KB, Weight: 1.0})},
+		SharedReadFrac: 0.05, FalseShareFrac: 0.02,
+	},
+	{
+		Name: "ferret", Suite: "parsec", Threads: 4,
+		// Similarity search pipeline: mixed compute and memory, moderate
+		// shared read set.
+		Phases: []Phase{phase(Mix{Load: 0.28, Store: 0.09, Mul: 0.03}, 2.2, 8, 300, 0.89, 0.03,
+			WSTier{Size: 12 * KB, Weight: 0.65}, WSTier{Size: 900 * KB, Weight: 0.35, Scan: true})},
+		SharedReadFrac: 0.25, FalseShareFrac: 0.05,
+	},
+}
+
+// gccPhases builds the ten gcc phases. The schedule tracks Table 7 of the
+// paper: phases 1-3 want large caches and many Slices under performance
+// metrics, the middle phases are intermediate, and phases 8-10 are branchy
+// with small working sets.
+func gccPhases() []Phase {
+	mk := func(meanDep float64, blockLen int, pred float64, tiers ...WSTier) Phase {
+		// The largest tier of each gcc phase is a scan, so each phase's
+		// performance climbs until its dominant working set fits.
+		big := 0
+		for i := range tiers {
+			if tiers[i].Size > tiers[big].Size {
+				big = i
+			}
+		}
+		tiers[big].Scan = true
+		return phase(Mix{Load: 0.26, Store: 0.11, Mul: 0.01}, meanDep, blockLen, 1800, pred, 0.05, tiers...)
+	}
+	return []Phase{
+		mk(4.4, 8, 0.88, WSTier{Size: 12 * KB, Weight: 0.62}, WSTier{Size: 400 * KB, Weight: 0.18}, WSTier{Size: 900 * KB, Weight: 0.20}),
+		mk(4.0, 8, 0.87, WSTier{Size: 12 * KB, Weight: 0.64}, WSTier{Size: 380 * KB, Weight: 0.18}, WSTier{Size: 850 * KB, Weight: 0.18}),
+		mk(3.9, 7, 0.86, WSTier{Size: 12 * KB, Weight: 0.64}, WSTier{Size: 200 * KB, Weight: 0.18}, WSTier{Size: 800 * KB, Weight: 0.18}),
+		mk(3.4, 7, 0.85, WSTier{Size: 12 * KB, Weight: 0.68}, WSTier{Size: 180 * KB, Weight: 0.18}, WSTier{Size: 420 * KB, Weight: 0.14}),
+		mk(3.8, 7, 0.86, WSTier{Size: 12 * KB, Weight: 0.64}, WSTier{Size: 220 * KB, Weight: 0.17}, WSTier{Size: 860 * KB, Weight: 0.19}),
+		mk(3.1, 6, 0.84, WSTier{Size: 12 * KB, Weight: 0.70}, WSTier{Size: 200 * KB, Weight: 0.20}, WSTier{Size: 400 * KB, Weight: 0.10}),
+		mk(3.7, 7, 0.86, WSTier{Size: 12 * KB, Weight: 0.64}, WSTier{Size: 240 * KB, Weight: 0.17}, WSTier{Size: 840 * KB, Weight: 0.19}),
+		mk(2.4, 5, 0.82, WSTier{Size: 12 * KB, Weight: 0.76}, WSTier{Size: 100 * KB, Weight: 0.24}),
+		mk(2.2, 5, 0.81, WSTier{Size: 12 * KB, Weight: 0.78}, WSTier{Size: 90 * KB, Weight: 0.22}),
+		mk(2.9, 6, 0.83, WSTier{Size: 12 * KB, Weight: 0.70}, WSTier{Size: 160 * KB, Weight: 0.18}, WSTier{Size: 420 * KB, Weight: 0.12}),
+	}
+}
+
+// Names returns the benchmark names in the catalog, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for i := range catalog {
+		out = append(out, catalog[i].Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SingleThreaded returns the names of all single-threaded benchmarks
+// (Apache + SPEC), sorted.
+func SingleThreaded() []string {
+	var out []string
+	for i := range catalog {
+		if catalog[i].Threads == 1 {
+			out = append(out, catalog[i].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parsec returns the names of the multithreaded PARSEC benchmarks, sorted.
+func Parsec() []string {
+	var out []string
+	for i := range catalog {
+		if catalog[i].Suite == "parsec" {
+			out = append(out, catalog[i].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the profile for name.
+func Lookup(name string) (*Profile, error) {
+	for i := range catalog {
+		if catalog[i].Name == name {
+			p := catalog[i] // copy
+			return &p, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+}

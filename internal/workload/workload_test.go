@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"sharing/internal/isa"
+	"sharing/internal/trace"
+)
+
+func TestCatalogIntegrity(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("catalog has %d benchmarks, want 15 (Apache + SPEC subset + PARSEC subset)", len(names))
+	}
+	for _, required := range []string{"apache", "bzip", "gcc", "astar", "libquantum", "perlbench",
+		"sjeng", "hmmer", "gobmk", "mcf", "omnetpp", "h264ref", "dedup", "swaptions", "ferret"} {
+		p, err := Lookup(required)
+		if err != nil {
+			t.Fatalf("missing %s: %v", required, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", required, err)
+		}
+	}
+	if len(Parsec()) != 3 {
+		t.Fatalf("PARSEC subset = %v", Parsec())
+	}
+	if len(SingleThreaded()) != 12 {
+		t.Fatalf("single-threaded set = %v", SingleThreaded())
+	}
+	for _, n := range Parsec() {
+		p, _ := Lookup(n)
+		if p.Threads != 4 {
+			t.Errorf("%s: PARSEC benchmarks run 4 threads, got %d", n, p.Threads)
+		}
+	}
+	if _, err := Lookup("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestGccHasTenPhases(t *testing.T) {
+	p, _ := Lookup("gcc")
+	if p.NumPhases() != 10 {
+		t.Fatalf("gcc has %d phases, want 10 (Table 7)", p.NumPhases())
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	a, _ := Lookup("gcc")
+	a.Threads = 99
+	b, _ := Lookup("gcc")
+	if b.Threads == 99 {
+		t.Fatal("Lookup must return an independent copy")
+	}
+}
+
+// TestValueConsistencyAll: every generated trace must execute cleanly on the
+// reference interpreter (branch directions match operand values, effective
+// addresses match base+offset).
+func TestValueConsistencyAll(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := Lookup(name)
+		mt, err := p.Generate(15000, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for ti, tr := range mt.Threads {
+			ref := isa.NewInterp()
+			if err := ref.Run(tr.Insts); err != nil {
+				t.Fatalf("%s thread %d: %v", name, ti, err)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := Lookup("omnetpp")
+	a, err := p.Generate(20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must generate identical traces")
+	}
+	c, err := p.Generate(20000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Threads[0].Insts[:100], c.Threads[0].Insts[:100]) {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestExactLengthAndBarriers(t *testing.T) {
+	p, _ := Lookup("dedup")
+	mt, err := p.Generate(16000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Threads) != 4 {
+		t.Fatalf("threads = %d", len(mt.Threads))
+	}
+	for ti, tr := range mt.Threads {
+		if tr.Len() != 16000 {
+			t.Fatalf("thread %d has %d insts, want 16000", ti, tr.Len())
+		}
+	}
+	if len(mt.Barriers) != 7 {
+		t.Fatalf("barriers = %d, want 7", len(mt.Barriers))
+	}
+	if err := mt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixMatchesProfile(t *testing.T) {
+	p, _ := Lookup("mcf")
+	mt, _ := p.Generate(40000, 5)
+	s := trace.Measure(mt.Threads[0])
+	loadFrac := float64(s.Loads) / float64(s.Total)
+	want := p.Phases[0].Mix.Load
+	if loadFrac < want-0.08 || loadFrac > want+0.08 {
+		t.Errorf("mcf load fraction %.3f far from profile %.3f", loadFrac, want)
+	}
+	brFrac := float64(s.Branches) / float64(s.Total)
+	if brFrac < 0.05 || brFrac > 0.35 {
+		t.Errorf("branch fraction %.3f implausible", brFrac)
+	}
+}
+
+func TestCodeCoverage(t *testing.T) {
+	// The block-sequence walk must cover a footprint commensurate with
+	// CodeBlocks (the earlier random-CFG design could trap in tiny cycles).
+	p, _ := Lookup("gcc")
+	mt, _ := p.Generate(60000, 1)
+	s := trace.Measure(mt.Threads[0])
+	if s.UniquePCs < 1000 {
+		t.Fatalf("gcc trace covers only %d static PCs", s.UniquePCs)
+	}
+}
+
+func TestMultithreadDisjointWrites(t *testing.T) {
+	// Threads may only write thread-private words, so that trace values are
+	// interleaving-independent (the golden-model invariant for PARSEC runs).
+	p, _ := Lookup("ferret")
+	mt, _ := p.Generate(20000, 9)
+	writers := make(map[uint64]int)
+	for ti, tr := range mt.Threads {
+		for _, in := range tr.Insts {
+			if in.Op.IsStore() {
+				w := in.Addr &^ 7
+				if prev, ok := writers[w]; ok && prev != ti {
+					t.Fatalf("word %#x written by threads %d and %d", w, prev, ti)
+				}
+				writers[w] = ti
+			}
+		}
+	}
+}
+
+func TestSharedReadsAndFalseSharing(t *testing.T) {
+	p, _ := Lookup("dedup")
+	mt, _ := p.Generate(30000, 4)
+	sharedLoads, fsStores := 0, 0
+	for _, tr := range mt.Threads {
+		for _, in := range tr.Insts {
+			if in.Op.IsLoad() && in.Addr >= sharedBase && in.Addr < sharedBase+sharedSize {
+				sharedLoads++
+			}
+			if in.Op.IsStore() && in.Addr >= fsBase && in.Addr < fsBase+fsLines*64 {
+				fsStores++
+			}
+		}
+	}
+	if sharedLoads == 0 {
+		t.Error("dedup should read the shared region")
+	}
+	if fsStores == 0 {
+		t.Error("dedup should write falsely-shared lines")
+	}
+}
+
+func TestGeneratePhase(t *testing.T) {
+	p, _ := Lookup("gcc")
+	tr, err := p.GeneratePhase(3, 8000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 8000 {
+		t.Fatalf("phase trace length %d", tr.Len())
+	}
+	ref := isa.NewInterp()
+	if err := ref.Run(tr.Insts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.GeneratePhase(10, 8000, 11); err == nil {
+		t.Fatal("out-of-range phase accepted")
+	}
+	if _, err := p.GeneratePhase(-1, 8000, 11); err == nil {
+		t.Fatal("negative phase accepted")
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	p, _ := Lookup("gcc")
+	if _, err := p.Generate(4, 1); err == nil {
+		t.Fatal("tiny trace accepted")
+	}
+	bad := *p
+	bad.Phases = nil
+	if _, err := bad.Generate(1000, 1); err == nil {
+		t.Fatal("profile without phases accepted")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	base, _ := Lookup("gcc")
+	cases := []func(p *Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.Threads = 0 },
+		func(p *Profile) { p.Phases[0].MeanDep = 0.5 },
+		func(p *Profile) { p.Phases[0].AvgBlockLen = 2 },
+		func(p *Profile) { p.Phases[0].CodeBlocks = 0 },
+		func(p *Profile) { p.Phases[0].PredictableFrac = 1.5 },
+		func(p *Profile) { p.Phases[0].StreamFrac = -0.1 },
+		func(p *Profile) { p.Phases[0].Mix.Load = 0.95 },
+		func(p *Profile) { p.Phases[0].Tiers[0].Weight = 0.0001 },
+		func(p *Profile) { p.Phases[0].Tiers[0].Size = 0 },
+	}
+	for i, mutate := range cases {
+		p := *base
+		p.Phases = append([]Phase(nil), base.Phases...)
+		p.Phases[0].Tiers = append([]WSTier(nil), base.Phases[0].Tiers...)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestScanTierCycles(t *testing.T) {
+	// A scan tier must revisit its lines (reuse) within a reasonable trace.
+	p, _ := Lookup("bzip")
+	mt, _ := p.Generate(200000, 2)
+	lineCount := make(map[uint64]int)
+	for _, in := range mt.Threads[0].Insts {
+		if in.Op.IsMemory() {
+			lineCount[in.Addr>>6]++
+		}
+	}
+	revisited := 0
+	for _, c := range lineCount {
+		if c >= 2 {
+			revisited++
+		}
+	}
+	if revisited < 1000 {
+		t.Fatalf("only %d lines revisited; scan reuse broken", revisited)
+	}
+}
+
+func TestPointerChaseDependence(t *testing.T) {
+	p, _ := Lookup("mcf")
+	mt, _ := p.Generate(30000, 6)
+	chained := 0
+	var lastLoadDest isa.Reg
+	loads := 0
+	for _, in := range mt.Threads[0].Insts {
+		if in.Op.IsLoad() {
+			loads++
+			if lastLoadDest != isa.Zero && in.Src1 == lastLoadDest {
+				chained++
+			}
+			lastLoadDest = in.Dest
+		}
+	}
+	if loads == 0 || float64(chained)/float64(loads) < 0.3 {
+		t.Fatalf("mcf load-to-load chaining %d/%d too low for a pointer chaser", chained, loads)
+	}
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper into results/.
+# Measurements are memoized in results/perf.json, so reruns are incremental.
+set -e
+R="-results results/perf.json -q"
+go run ./cmd/area                         > results/fig10_fig11_area.txt
+go run ./cmd/area -structures             > results/table1_structures.txt
+go run ./cmd/ssim -dump-config            > results/tables2_3_base_config.xml
+go run ./cmd/market $R -exp table4        > results/table4_optima.txt
+go run ./cmd/sweep  $R -exp fig12         > results/fig12_scalability.txt
+go run ./cmd/sweep  $R -exp fig13         > results/fig13_cache_sensitivity.txt
+go run ./cmd/market $R -exp table5        > results/table5_utilities.txt
+go run ./cmd/market $R -exp table6        > results/table6_markets.txt
+go run ./cmd/market $R -exp fig14         > results/fig14_utility_surfaces.txt
+go run ./cmd/market $R -exp fig15         > results/fig15_fixed_gain.txt
+go run ./cmd/market $R -exp fig16        > results/fig16_hetero_gain.txt
+go run ./cmd/market $R -exp fig17        > results/fig17_datacenter.txt
+go run ./cmd/phases $R -n 300000         > results/table7_phases.txt
+echo "all experiments complete"

@@ -1,0 +1,53 @@
+package sharing
+
+import "testing"
+
+func TestPublicAPISimulate(t *testing.T) {
+	mt, err := GenerateTrace("libquantum", 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{Slices: 2, CacheKB: 128}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 10000 || res.IPC() <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 15 {
+		t.Fatalf("%d benchmarks", len(bs))
+	}
+	if _, err := GenerateTrace("nope", 1000, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPublicAPIUtilityOptimization(t *testing.T) {
+	r := NewRunner()
+	r.TraceLen = 6000
+	grid, err := r.Grid("hmmer", []int{1, 2}, []int{0, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, u := Utility2().Best(Market2(), grid)
+	if u <= 0 || !cfg.Valid() {
+		t.Fatalf("best = %v (%f)", cfg, u)
+	}
+	// Market identities exposed through the facade.
+	if Market2().Cost(VCoreConfig{Slices: 1}) != Market2().Cost(VCoreConfig{CacheKB: 128}) {
+		t.Fatal("Market2 equal-area identity")
+	}
+	if Market1().SliceCost <= Market2().SliceCost {
+		t.Fatal("Market1 must price Slices above area cost")
+	}
+	if Market3().BankCost <= Market2().BankCost {
+		t.Fatal("Market3 must price cache above area cost")
+	}
+	if Utility1().K != 1 || Utility3().K != 3 {
+		t.Fatal("utility exponents")
+	}
+}
