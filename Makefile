@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator core and the parallel sweep runner are the only packages
+# with internal concurrency; run them under the race detector.
+race:
+	$(GO) test -race ./internal/sim ./internal/experiments
+
+bench:
+	$(GO) test ./internal/sim -run '^$$' -bench BenchmarkMachineRun -benchtime 10x
+
+check: build vet test race

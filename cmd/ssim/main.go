@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sharing/internal/sim"
 	"sharing/internal/workload"
@@ -30,8 +32,35 @@ func main() {
 		n          = flag.Int("n", 200000, "dynamic instructions per thread")
 		seed       = flag.Int64("seed", 1, "workload generation seed")
 		verbose    = flag.Bool("v", false, "print per-VCore details")
+		strict     = flag.Bool("strict", false, "use the strict per-cycle loop instead of event-driven cycle skipping (slow; results identical)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, b := range workload.Names() {
@@ -64,6 +93,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	params.StrictTick = *strict
 	prof, err := workload.Lookup(cfg.Benchmark)
 	if err != nil {
 		fatal(err)

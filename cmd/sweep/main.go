@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"sharing/internal/experiments"
@@ -21,17 +23,45 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig12", "experiment: fig12 or fig13")
-		benches = flag.String("bench", "", "comma-separated benchmarks (default: all)")
-		n       = flag.Int("n", experiments.DefaultTraceLen, "instructions per thread")
-		seed    = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
-		results = flag.String("results", "", "JSON results cache (reused across runs)")
-		quiet   = flag.Bool("q", false, "suppress per-run progress")
+		exp        = flag.String("exp", "fig12", "experiment: fig12 or fig13")
+		benches    = flag.String("bench", "", "comma-separated benchmarks (default: all)")
+		n          = flag.Int("n", experiments.DefaultTraceLen, "instructions per thread")
+		seed       = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+		results    = flag.String("results", "", "JSON results cache (reused across runs)")
+		traceCache = flag.String("tracecache", "", "directory for the binary trace cache (reused across runs)")
+		quiet      = flag.Bool("q", false, "suppress per-run progress")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	r := experiments.NewRunner()
 	r.TraceLen, r.Seed, r.ResultsPath = *n, *seed, *results
+	r.TraceCacheDir = *traceCache
 	if !*quiet {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

@@ -84,8 +84,11 @@ func New(cfg Config) *Cache {
 	c.lineShift = shift
 	c.setMask = uint64(nSets - 1)
 	c.sets = make([][]line, nSets)
+	// Carve all sets out of one backing array: a separate make per set costs
+	// thousands of small allocations per simulator construction.
+	backing := make([]line, nSets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]line, 0, cfg.Ways)
+		c.sets[i] = backing[i*cfg.Ways : i*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return c
 }

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTraceCachePersistsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	r := tiny(t)
+	r.TraceCacheDir = dir
+	mt, err := r.traceFor("mcf", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.strc"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files = %v, err = %v", files, err)
+	}
+	want := "mcf_n8000_seed7_ph-1.strc"
+	if got := filepath.Base(files[0]); got != want {
+		t.Fatalf("cache filename %q, want %q (key must be fully encoded)", got, want)
+	}
+
+	// A fresh Runner with the same parameters must deserialize the cached
+	// trace instead of regenerating, and get an identical result.
+	r2 := tiny(t)
+	r2.TraceCacheDir = dir
+	mt2, err := r2.traceFor("mcf", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mt, mt2) {
+		t.Fatal("cached trace differs from generated trace")
+	}
+
+	// Different generation parameters must miss (different filename).
+	r3 := tiny(t)
+	r3.TraceCacheDir = dir
+	r3.Seed = 8
+	if _, err := r3.traceFor("mcf", -1); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "*.strc"))
+	if len(files) != 2 {
+		t.Fatalf("seed change should add a cache entry, have %v", files)
+	}
+}
+
+func TestTraceCachePhaseKeyed(t *testing.T) {
+	dir := t.TempDir()
+	r := tiny(t)
+	r.TraceCacheDir = dir
+	p0, err := r.traceFor("gcc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := r.traceFor("gcc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p0, p1) {
+		t.Fatal("distinct phases produced identical traces")
+	}
+	// Reload phase 0 from disk (the in-memory memo now holds phase 1).
+	p0again, err := r.traceFor("gcc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p0, p0again) {
+		t.Fatal("phase-0 trace reloaded from cache differs")
+	}
+}
+
+func TestTraceCacheIgnoresCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	r := tiny(t)
+	r.TraceCacheDir = dir
+	path := r.tracePath("mcf", -1)
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := r.traceFor("mcf", -1)
+	if err != nil || mt == nil {
+		t.Fatalf("corrupt cache entry must be regenerated, got err %v", err)
+	}
+	// The corrupt file is overwritten with a valid one.
+	r2 := tiny(t)
+	r2.TraceCacheDir = dir
+	mt2, err := r2.traceFor("mcf", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mt, mt2) {
+		t.Fatal("rewritten cache entry differs")
+	}
+}
+
+func TestTraceCacheNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	r := tiny(t)
+	r.TraceCacheDir = dir
+	if _, err := r.traceFor("mcf", -1); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -12,10 +12,7 @@
 // network would buy only ~1%" ablation reproducible.
 package noc
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Coord is a tile position on the fabric grid.
 type Coord struct{ X, Y int }
@@ -56,19 +53,57 @@ type Message struct {
 }
 
 // msgHeap orders messages by (Arrive, seq) so delivery order is
-// deterministic regardless of map iteration or send interleavings.
+// deterministic regardless of map iteration or send interleavings. It is a
+// hand-rolled binary min-heap: container/heap's interface{} boxing would
+// allocate on every push, and Send is the simulator's hottest call.
 type msgHeap []Message
 
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
+func (h msgHeap) less(i, j int) bool {
 	if h[i].Arrive != h[j].Arrive {
 		return h[i].Arrive < h[j].Arrive
 	}
 	return h[i].seq < h[j].seq
 }
-func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Message)) }
-func (h *msgHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *msgHeap) push(m Message) {
+	*h = append(*h, m)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *msgHeap) pop() Message {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.less(l, m) {
+			m = l
+		}
+		if r < n && s.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
 
 // Stats aggregates network activity counters.
 type Stats struct {
@@ -90,6 +125,7 @@ type Network struct {
 	queues  []msgHeap // per destination tile
 	seq     uint64
 	stats   Stats
+	ff      bool // fire-and-forget: Send does not buffer for Deliver
 }
 
 // New creates a network over a w x h grid with the given per-port bandwidth
@@ -133,25 +169,35 @@ func (n *Network) Send(now int64, m Message) int64 {
 	n.stats.Messages++
 	n.stats.TotalHops += uint64(Manhattan(m.Src, m.Dst))
 	n.stats.StallCycles += uint64((depart - now) + (arrive - zeroLoad))
+	if n.ff {
+		return arrive
+	}
 	m.Arrive = arrive
 	m.seq = n.seq
 	n.seq++
-	heap.Push(&n.queues[di], m)
+	n.queues[di].push(m)
 	return arrive
 }
+
+// SetFireAndForget switches the network into fire-and-forget mode: Send
+// still models contention and returns delivery cycles, but no longer
+// buffers messages for Deliver. Simulators that consume Send's return value
+// directly (like SSim's latency-chain engine) use this to avoid growing
+// delivery queues that nothing ever drains. Timing is unaffected.
+func (n *Network) SetFireAndForget(on bool) { n.ff = on }
 
 // Deliver pops every message destined to dst whose delivery cycle is <= now,
 // in deterministic (Arrive, send-order) order.
 func (n *Network) Deliver(now int64, dst Coord, out []Message) []Message {
 	q := &n.queues[n.index(dst)]
-	for q.Len() > 0 && (*q)[0].Arrive <= now {
-		out = append(out, heap.Pop(q).(Message))
+	for len(*q) > 0 && (*q)[0].Arrive <= now {
+		out = append(out, q.pop())
 	}
 	return out
 }
 
 // Pending reports whether any undelivered messages remain for dst.
-func (n *Network) Pending(dst Coord) bool { return n.queues[n.index(dst)].Len() > 0 }
+func (n *Network) Pending(dst Coord) bool { return len(n.queues[n.index(dst)]) > 0 }
 
 // NextArrival returns the earliest pending delivery cycle for dst and true,
 // or 0 and false if the destination has no pending messages. Simulators use

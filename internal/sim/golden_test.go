@@ -88,6 +88,30 @@ func TestGoldenAllBenchmarks(t *testing.T) {
 	}
 }
 
+// TestGoldenBothLoopModes runs the interpreter check under the event-driven
+// loop (the default, so every other golden test already exercises cycle
+// skipping) and the strict per-cycle reference loop, and asserts that both
+// loops agree with each other cycle-for-cycle. Architectural correctness and
+// timing equivalence of the skipping fast path are validated in one place.
+func TestGoldenBothLoopModes(t *testing.T) {
+	prof, err := workload.Lookup("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := prof.Generate(8000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(4, 256)
+	fast := runGolden(t, p, mt)
+	p.StrictTick = true
+	strict := runGolden(t, p, mt)
+	if fast.Cycles != strict.Cycles || fast.Instructions != strict.Instructions {
+		t.Fatalf("loop modes diverge: event-driven %d cycles / %d insts, strict %d cycles / %d insts",
+			fast.Cycles, fast.Instructions, strict.Cycles, strict.Instructions)
+	}
+}
+
 func TestGoldenNoL2(t *testing.T) {
 	prof, err := workload.Lookup("astar")
 	if err != nil {

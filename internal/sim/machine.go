@@ -37,6 +37,10 @@ type Params struct {
 	Mem mem.Config
 	// MaxCycles aborts runaway simulations (0 = default 2e9).
 	MaxCycles int64
+	// StrictTick disables event-driven cycle skipping and ticks every engine
+	// on every cycle. It is the naive reference loop: slower, but useful for
+	// differential testing and debugging. Results are cycle-exact either way.
+	StrictTick bool
 }
 
 // DefaultParams returns the paper's base configuration for a VCore of n
@@ -273,6 +277,12 @@ func NewMachine(p Params, mt *trace.MultiTrace) (*Machine, error) {
 	opNet := noc.New("operand", w, h, p.OperandNetWidth)
 	sortNet := noc.New("lssort", w, h, p.SortNetWidth)
 	memNet := noc.New("memory", w, h, p.MemNetWidth)
+	// The engines consume Send's returned delivery cycle directly and never
+	// call Deliver, so buffering every message would only grow heaps that no
+	// one drains. Fire-and-forget keeps timing and stats identical.
+	opNet.SetFireAndForget(true)
+	sortNet.SetFireAndForget(true)
+	memNet.SetFireAndForget(true)
 	m := &machine{
 		home:     cache.NewHomeMap(vm.Banks),
 		memNet:   memNet,
@@ -304,6 +314,14 @@ func NewMachine(p Params, mt *trace.MultiTrace) (*Machine, error) {
 }
 
 // Run executes the machine to completion.
+//
+// The main loop is event-driven: every engine is stepped each simulated
+// cycle, but when a cycle leaves all engines architecturally idle (no event
+// popped, nothing fetched/dispatched/issued/committed), time jumps straight
+// to the minimum of the engines' NextWake lower bounds instead of ticking
+// through the quiet span. Idle-span stall statistics are charged via
+// AccountIdle, so results — cycles, instructions, every counter — are
+// bit-identical to the strict per-cycle loop (Params.StrictTick).
 func (mc *Machine) Run() (*Result, error) {
 	p, m := mc.p, mc.m
 	maxCycles := p.MaxCycles
@@ -312,9 +330,12 @@ func (mc *Machine) Run() (*Result, error) {
 	}
 	var t int64
 	for {
+		anyActive := false
 		done := true
 		for _, e := range m.engines {
-			e.Tick(t)
+			if e.Step(t) {
+				anyActive = true
+			}
 			if err := e.Err(); err != nil {
 				return nil, err
 			}
@@ -340,8 +361,24 @@ func (mc *Machine) Run() (*Result, error) {
 			for _, e := range m.engines {
 				e.ReleaseBarrier(t)
 			}
+			anyActive = true
 		}
-		t++
+		next := t + 1
+		if !anyActive && !p.StrictTick {
+			next = vcore.NeverWake
+			for _, e := range m.engines {
+				if w := e.NextWake(t); w < next {
+					next = w
+				}
+			}
+			if next >= vcore.NeverWake {
+				return nil, fmt.Errorf("sim: deadlock at cycle %d: all engines quiescent with no pending events", t)
+			}
+			for _, e := range m.engines {
+				e.AccountIdle(next-t-1, t)
+			}
+		}
+		t = next
 		if t > maxCycles {
 			return nil, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxCycles)
 		}

@@ -1,13 +1,25 @@
 package slice
 
+// mshrEntry tracks one outstanding line fill and the age tags waiting on it.
+type mshrEntry struct {
+	line    uint64
+	waiters []uint64
+}
+
 // MSHRSet models a Slice's miss status holding registers: the bookkeeping
 // that makes the paper's caches non-blocking (§3.5). Each entry tracks one
 // outstanding line fill; requests to an already-outstanding line merge into
 // the existing entry's waiter list. Capacity bounds in-flight misses
 // (Table 2: maximum 8 in-flight loads per Slice).
+//
+// The set is a flat array scanned linearly: with at most 8 entries this is
+// faster than a map, and retired entries park on a free list so their
+// waiter slices are reused instead of reallocated on every miss.
 type MSHRSet struct {
 	capacity int
-	entries  map[uint64][]uint64 // line address -> waiting age tags
+	entries  []mshrEntry
+	free     []mshrEntry // spare entries whose waiter capacity is recycled
+	scratch  []uint64    // reusable buffer returned by Complete
 
 	// Merges counts requests that joined an existing entry.
 	Merges uint64
@@ -20,17 +32,27 @@ func NewMSHRSet(capacity int) *MSHRSet {
 	if capacity <= 0 {
 		panic("slice: MSHR capacity must be positive")
 	}
-	return &MSHRSet{capacity: capacity, entries: make(map[uint64][]uint64, capacity)}
+	return &MSHRSet{
+		capacity: capacity,
+		entries:  make([]mshrEntry, 0, capacity),
+		free:     make([]mshrEntry, 0, capacity),
+	}
 }
 
 // Len returns the number of outstanding line fills.
 func (m *MSHRSet) Len() int { return len(m.entries) }
 
-// Outstanding reports whether line already has an in-flight fill.
-func (m *MSHRSet) Outstanding(line uint64) bool {
-	_, ok := m.entries[line]
-	return ok
+func (m *MSHRSet) find(line uint64) int {
+	for i := range m.entries {
+		if m.entries[i].line == line {
+			return i
+		}
+	}
+	return -1
 }
+
+// Outstanding reports whether line already has an in-flight fill.
+func (m *MSHRSet) Outstanding(line uint64) bool { return m.find(line) >= 0 }
 
 // Request tries to register interest in line by waiter seq. It returns:
 //   - allocated=true if a new fill must be started for the line;
@@ -40,9 +62,9 @@ func (m *MSHRSet) Outstanding(line uint64) bool {
 // Prefetches and other waiterless fills pass track=false to allocate without
 // recording a waiter.
 func (m *MSHRSet) Request(line uint64, seq uint64, track bool) (allocated, merged bool) {
-	if w, ok := m.entries[line]; ok {
+	if i := m.find(line); i >= 0 {
 		if track {
-			m.entries[line] = append(w, seq)
+			m.entries[i].waiters = append(m.entries[i].waiters, seq)
 		}
 		m.Merges++
 		return false, true
@@ -51,40 +73,62 @@ func (m *MSHRSet) Request(line uint64, seq uint64, track bool) (allocated, merge
 		m.FullStalls++
 		return false, false
 	}
-	if track {
-		m.entries[line] = []uint64{seq}
-	} else {
-		m.entries[line] = nil
+	var e mshrEntry
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free = m.free[:n-1]
 	}
+	e.line = line
+	e.waiters = e.waiters[:0]
+	if track {
+		e.waiters = append(e.waiters, seq)
+	}
+	m.entries = append(m.entries, e)
 	return true, false
 }
 
-// Complete removes the entry for line and returns its waiters.
+// Complete removes the entry for line and returns its waiters. The returned
+// slice is a reusable buffer, valid only until the next Complete on this
+// set; callers consume it before completing another fill.
 func (m *MSHRSet) Complete(line uint64) []uint64 {
-	w := m.entries[line]
-	delete(m.entries, line)
-	return w
+	i := m.find(line)
+	if i < 0 {
+		return nil
+	}
+	e := m.entries[i]
+	last := len(m.entries) - 1
+	m.entries[i] = m.entries[last]
+	m.entries = m.entries[:last]
+	// Hand back a stable copy: waking a waiter may re-Request this set,
+	// which recycles e.waiters' backing array from the free list.
+	m.scratch = append(m.scratch[:0], e.waiters...)
+	m.free = append(m.free, e)
+	return m.scratch
 }
 
 // DropWaiters removes all waiters with age tag >= seq from every entry
 // (pipeline flush); in-flight fills continue but deliver to no one.
 func (m *MSHRSet) DropWaiters(seq uint64) {
-	for line, ws := range m.entries {
+	for i := range m.entries {
+		ws := m.entries[i].waiters
 		kept := ws[:0]
 		for _, w := range ws {
 			if w < seq {
 				kept = append(kept, w)
 			}
 		}
-		m.entries[line] = kept
+		m.entries[i].waiters = kept
 	}
 }
 
 // StoreBuffer is the small post-commit store queue each Slice drains into
 // its L1 D-cache (Table 2: 8 entries). Commit stalls when the buffer of the
-// store's home Slice is full.
+// store's home Slice is full. Dequeue advances a head index (rewound when
+// the buffer empties) so the backing array is reused instead of forfeited
+// one slot per pop.
 type StoreBuffer struct {
 	entries  []StoreBufEntry
+	head     int
 	capacity int
 }
 
@@ -103,10 +147,10 @@ func NewStoreBuffer(capacity int) *StoreBuffer {
 }
 
 // Len returns the occupancy.
-func (b *StoreBuffer) Len() int { return len(b.entries) }
+func (b *StoreBuffer) Len() int { return len(b.entries) - b.head }
 
 // Full reports whether the buffer is full.
-func (b *StoreBuffer) Full() bool { return len(b.entries) >= b.capacity }
+func (b *StoreBuffer) Full() bool { return b.Len() >= b.capacity }
 
 // Push appends a committed store; it returns false when full.
 func (b *StoreBuffer) Push(e StoreBufEntry) bool {
@@ -119,15 +163,20 @@ func (b *StoreBuffer) Push(e StoreBufEntry) bool {
 
 // Head returns the oldest store without removing it.
 func (b *StoreBuffer) Head() (StoreBufEntry, bool) {
-	if len(b.entries) == 0 {
+	if b.Len() == 0 {
 		return StoreBufEntry{}, false
 	}
-	return b.entries[0], true
+	return b.entries[b.head], true
 }
 
 // Pop removes the oldest store.
 func (b *StoreBuffer) Pop() {
-	if len(b.entries) > 0 {
-		b.entries = b.entries[1:]
+	if b.Len() == 0 {
+		return
+	}
+	b.head++
+	if b.head == len(b.entries) {
+		b.entries = b.entries[:0]
+		b.head = 0
 	}
 }

@@ -123,7 +123,7 @@ type Engine struct {
 	mshr    []*slice.MSHRSet
 	imshr   []*slice.MSHRSet
 	sbuf    []*slice.StoreBuffer
-	instBuf [][]uint64
+	instBuf []seqFIFO
 	aluWin  [][]uint64
 	lsWin   [][]uint64
 
@@ -155,10 +155,16 @@ type Engine struct {
 	regRetPos [isa.NumArchRegs]regRet
 	copies    [isa.NumArchRegs][MaxSlices]regCopy
 
-	committedMem map[uint64]uint64
+	mem *memImage // committed memory image
 
 	events eventQueue
 	stats  Stats
+
+	// activity counts observable work (events processed, instructions
+	// fetched/dispatched/issued/committed, fills started, barrier entry).
+	// The event-driven machine loop compares it across a Tick to decide
+	// whether the engine is quiescent and time can jump to NextWake.
+	activity uint64
 
 	// Barrier pacing for multithreaded workloads.
 	barriers   []int
@@ -183,10 +189,11 @@ func New(cfg Config, tr *trace.Trace, pos []noc.Coord, opNet, sortNet *noc.Netwo
 	e := &Engine{
 		cfg: cfg, tr: tr.Insts, name: tr.Name, uncore: uncore,
 		opNet: opNet, sortNet: sortNet, pos: pos,
-		committedMem:  make(map[uint64]uint64),
+		mem:           newMemImage(),
 		blockedBranch: -1,
 	}
 	n := cfg.NumSlices
+	e.instBuf = make([]seqFIFO, n)
 	for i := 0; i < n; i++ {
 		e.pred = append(e.pred, slice.NewPredictor(cfg.PredictorEntries))
 		e.btb = append(e.btb, slice.NewBTB(cfg.BTBEntries))
@@ -196,9 +203,8 @@ func New(cfg Config, tr *trace.Trace, pos []noc.Coord, opNet, sortNet *noc.Netwo
 		e.mshr = append(e.mshr, slice.NewMSHRSet(cfg.MSHRs))
 		e.imshr = append(e.imshr, slice.NewMSHRSet(4))
 		e.sbuf = append(e.sbuf, slice.NewStoreBuffer(cfg.StoreBufEntries))
-		e.instBuf = append(e.instBuf, nil)
-		e.aluWin = append(e.aluWin, nil)
-		e.lsWin = append(e.lsWin, nil)
+		e.aluWin = append(e.aluWin, make([]uint64, 0, cfg.IssueWindow))
+		e.lsWin = append(e.lsWin, make([]uint64, 0, cfg.LSWindow))
 	}
 	e.robCount = make([]int, n)
 	e.lrfCount = make([]int, n)
@@ -212,9 +218,25 @@ func New(cfg Config, tr *trace.Trace, pos []noc.Coord, opNet, sortNet *noc.Netwo
 	for r := range e.regRetPos {
 		e.regRetPos[r] = regRet{writer: -1}
 	}
+	// Seed every flight-ring slot's waiter lists from one backing array.
+	// Slots recycle their slices (appends reuse capacity), but a fresh ring
+	// would otherwise pay thousands of tiny growth allocations warming up.
+	wback := make([]waiter, ringSize*seedWaiterCap)
+	fback := make([]waiter, ringSize*seedFwdCap)
+	for i := range e.fl {
+		e.fl[i].waiters = wback[i*seedWaiterCap : i*seedWaiterCap : (i+1)*seedWaiterCap]
+		e.fl[i].fwdWaiters = fback[i*seedFwdCap : i*seedFwdCap : (i+1)*seedFwdCap]
+	}
 	e.computeDeps()
 	return e, nil
 }
+
+// seedWaiterCap and seedFwdCap are the initial per-slot waiter capacities;
+// slots with more consumers grow their own arrays once and keep them.
+const (
+	seedWaiterCap = 4
+	seedFwdCap    = 2
+)
 
 // SetBarriers installs the instruction indices at which this thread must
 // rendezvous with its siblings (see trace.BarrierSet).
@@ -233,6 +255,7 @@ func (e *Engine) ReleaseBarrier(now int64) {
 		e.atBarrier = false
 		e.barrierIdx++
 		e.fetchBlockedUntil = maxi64(e.fetchBlockedUntil, now+20)
+		e.activity++
 	}
 }
 
@@ -312,9 +335,7 @@ func (e *Engine) Committed() uint64 { return e.commitHead }
 func (e *Engine) FinalState() *isa.ArchState {
 	s := isa.NewArchState()
 	s.Regs = e.regRetVal
-	for k, v := range e.committedMem {
-		s.Mem[k] = v
-	}
+	e.mem.rangeWords(func(word, val uint64) { s.Mem[word] = val })
 	return s
 }
 
@@ -342,16 +363,152 @@ func (e *Engine) Tick(now int64) {
 	}
 }
 
+// Step advances the engine by one cycle and reports whether it performed
+// any observable work (processed an event, fetched, dispatched, issued, or
+// committed an instruction, started a fill, entered a barrier). A false
+// return means the cycle was architecturally idle: nothing can happen
+// before NextWake(now), so callers may jump time forward after charging
+// the skipped span with AccountIdle.
+func (e *Engine) Step(now int64) bool {
+	a0 := e.activity
+	e.Tick(now)
+	return e.activity != a0
+}
+
+// NeverWake is returned by NextWake when the engine has no pending event
+// and no time-gated work: without external input it will never act again.
+const NeverWake = int64(math.MaxInt64 / 2)
+
+// NextWake returns a lower bound on the earliest cycle > now at which the
+// engine can perform observable work, assuming it was idle at cycle now
+// (Step returned false) and no external state changes. Wake sources are the
+// event queue (fills, drains, arrivals, completions), issue-window entries
+// whose operands become ready at a known future cycle, and timed front-end
+// bubbles. Everything else the engine does is a consequence of one of
+// those, so skipping straight to the minimum is cycle-exact.
+func (e *Engine) NextWake(now int64) int64 {
+	if e.Done() || e.err != nil {
+		return NeverWake
+	}
+	next := NeverWake
+	if at, ok := e.events.nextAt(); ok && at < next {
+		next = at
+	}
+	for k := 0; k < e.cfg.NumSlices; k++ {
+		aluB, lsB := e.aluBusy[k], e.lsBusy[k]
+		for _, seq := range e.aluWin[k] {
+			f := e.flight(seq)
+			if f.state == stInWindow && f.pendingSrc == 0 {
+				if c := maxi64(f.readyAt, aluB); c < next {
+					next = c
+				}
+			}
+		}
+		for _, seq := range e.lsWin[k] {
+			f := e.flight(seq)
+			if f.state == stInWindow && f.pendingSrc == 0 {
+				if c := maxi64(f.readyAt, lsB); c < next {
+					next = c
+				}
+			}
+		}
+	}
+	// The front end wakes when a redirect bubble expires, but only if no
+	// earlier gate (barrier, I-fill, unresolved branch) holds it first —
+	// those are lifted by events or commits, which are captured above.
+	if e.fetchSeq < uint64(len(e.tr)) && !e.atBarrier &&
+		!(e.barrierIdx < len(e.barriers) && e.fetchSeq >= uint64(e.barriers[e.barrierIdx])) &&
+		!e.waitingIFill && e.blockedBranch < 0 &&
+		e.fetchBlockedUntil > now && e.fetchBlockedUntil < next {
+		next = e.fetchBlockedUntil
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// AccountIdle charges delta cycles of per-cycle stall statistics for a
+// quiescent span starting after cycle now (the cycles a strict per-cycle
+// loop would have ticked through with no state change). It mirrors exactly
+// the counters Tick increments on an idle cycle, so event-driven and
+// strict-tick runs report identical stats.
+func (e *Engine) AccountIdle(delta int64, now int64) {
+	if delta <= 0 || e.Done() || e.err != nil {
+		return
+	}
+	d := delta
+	// Commit-side: waiting at a barrier, or head-of-ROB store blocked on a
+	// full store buffer (drain completion arrives via the event queue).
+	if e.atBarrier {
+		e.stats.BarrierWaits += d
+	} else if f := e.flight(e.commitHead); f.state == stDone {
+		if e.tr[e.commitHead].Op.IsStore() && e.sbuf[int(f.owner)].Full() {
+			e.stats.CommitStallStoreB += d
+		}
+	}
+	// Dispatch-side: the oldest undispatched instruction blocked on window,
+	// ROB, or register space (all freed by commits/issues, i.e. activity).
+	if e.renameHead < e.fetchSeq {
+		if f := e.flight(e.renameHead); f.state == stInBuf {
+			k := int(f.sl)
+			in := &e.tr[e.renameHead]
+			isLS := in.Op.IsMemory()
+			hasDest := in.Op.HasDest() && in.Dest != isa.Zero
+			switch {
+			case isLS && len(e.lsWin[k]) >= e.cfg.LSWindow,
+				!isLS && len(e.aluWin[k]) >= e.cfg.IssueWindow,
+				e.robCount[k] >= e.cfg.ROBPerSlice,
+				hasDest && (e.lrfCount[k] >= e.cfg.LRFPerSlice || e.globalDest >= e.cfg.GlobalRegs):
+				e.stats.RenameStallWindow += d
+			}
+		}
+	}
+	// Fetch-side, in the same gate order as fetch().
+	if e.fetchSeq >= uint64(len(e.tr)) || e.atBarrier {
+		return
+	}
+	if e.barrierIdx < len(e.barriers) && e.fetchSeq >= uint64(e.barriers[e.barrierIdx]) {
+		return
+	}
+	switch {
+	case e.waitingIFill:
+		e.stats.FetchStallICache += d
+	case e.blockedBranch >= 0:
+		e.stats.FetchStallBranch += d
+	case e.fetchBlockedUntil > now:
+		e.stats.FetchStallBubble += d
+	default:
+		in := &e.tr[e.fetchSeq]
+		k := e.pcOwner(in.PC)
+		if in.PC&7 != 0 && e.cfg.FetchPerSlice <= 1 {
+			return // misaligned first slot consumes the whole fetch budget
+		}
+		if e.instBuf[k].Len() >= e.cfg.InstBufEntries {
+			e.stats.FetchStallBuf += d
+		}
+	}
+}
+
 // Run executes the trace to completion for a standalone (single-VCore,
-// single-thread) simulation and returns total cycles.
+// single-thread) simulation and returns total cycles. It uses the same
+// event-driven cycle skipping as sim.Machine.Run.
 func (e *Engine) Run() (int64, error) {
 	var t int64
 	for !e.Done() {
-		e.Tick(t)
+		active := e.Step(t)
 		if e.err != nil {
 			return t, e.err
 		}
-		t++
+		next := t + 1
+		if !active && !e.Done() {
+			next = e.NextWake(t)
+			if next == NeverWake {
+				return t, fmt.Errorf("vcore: %s: deadlock at cycle %d: engine quiescent with no pending events", e.name, t)
+			}
+			e.AccountIdle(next-t-1, t)
+		}
+		t = next
 	}
 	e.stats.Cycles = t
 	return t, nil
@@ -393,7 +550,7 @@ func (e *Engine) commit(now int64) {
 				e.stats.CommitStallStoreB++
 				return
 			}
-			e.committedMem[f.word] = f.dataVal
+			e.mem.store(f.word, f.dataVal)
 			e.lsq[o].Remove(seq)
 			e.sbuf[o].Push(slice.StoreBufEntry{Seq: seq, Word: f.word})
 			if !e.drainBusy[o] {
@@ -411,11 +568,12 @@ func (e *Engine) commit(now int64) {
 		}
 		e.robCount[sl]--
 		f.state = stEmpty
-		f.waiters = nil
-		f.fwdWaiters = nil
+		f.waiters = f.waiters[:0]
+		f.fwdWaiters = f.fwdWaiters[:0]
 		e.commitHead++
 		e.lastCommit = now
 		e.stats.Committed++
+		e.activity++
 		perSlice[sl]++
 		total++
 		// Barrier rendezvous (multithreaded workloads).
@@ -462,6 +620,7 @@ func pickReadyLS(win []uint64, e *Engine, now int64) (uint64, bool) {
 }
 
 func (e *Engine) issueALU(now int64, k int, seq uint64) {
+	e.activity++
 	f := e.flight(seq)
 	in := &e.tr[seq]
 	lat := int64(in.Op.Latency())
@@ -560,10 +719,11 @@ func (e *Engine) dispatch(now int64) {
 			e.stats.RenameStallWindow++
 			break
 		}
-		if len(e.instBuf[k]) == 0 || e.instBuf[k][0] != seq {
+		if e.instBuf[k].Len() == 0 || e.instBuf[k].Front() != seq {
 			break // should not happen: per-Slice buffers follow fetch order
 		}
-		e.instBuf[k] = e.instBuf[k][1:]
+		e.instBuf[k].Pop()
+		e.activity++
 		e.robCount[k]++
 		if hasDest {
 			e.lrfCount[k]++
@@ -661,6 +821,7 @@ func (e *Engine) fetch(now int64) {
 		// the coordinator releases us.
 		if e.commitHead >= uint64(e.barriers[e.barrierIdx]) {
 			e.atBarrier = true
+			e.activity++
 		}
 		return
 	}
@@ -693,7 +854,7 @@ func (e *Engine) fetch(now int64) {
 		if cnt[k] >= e.cfg.FetchPerSlice {
 			break
 		}
-		if len(e.instBuf[k]) >= e.cfg.InstBufEntries {
+		if e.instBuf[k].Len() >= e.cfg.InstBufEntries {
 			if first {
 				e.stats.FetchStallBuf++
 			}
@@ -707,11 +868,16 @@ func (e *Engine) fetch(now int64) {
 			break
 		}
 		e.stats.L1IHits++
-		// Accept.
+		// Accept. The flight slot is reinitialized in place, keeping the
+		// waiter slices' backing arrays so they are reused across the ring.
 		f := e.flight(seq)
-		*f = instFlight{gen: f.gen, state: stInBuf, sl: int8(k), readyAt: unknown, execDone: unknown, dataAt: unknown}
-		e.instBuf[k] = append(e.instBuf[k], seq)
+		ws, fws := f.waiters[:0], f.fwdWaiters[:0]
+		*f = instFlight{gen: f.gen, state: stInBuf, sl: int8(k),
+			readyAt: unknown, execDone: unknown, dataAt: unknown,
+			waiters: ws, fwdWaiters: fws}
+		e.instBuf[k].Push(seq)
 		e.fetchSeq++
+		e.activity++
 		cnt[k]++
 		first = false
 		if in.Op.IsBranch() {
@@ -766,6 +932,7 @@ func (e *Engine) handleBranchFetch(now int64, k int, seq uint64, in *isa.Inst) b
 // startIFill requests an I-cache line fill (and next-line prefetches at the
 // Slice's stride, §3.5).
 func (e *Engine) startIFill(now int64, k int, line uint64, blockFetch bool) {
+	e.activity++
 	if blockFetch {
 		e.waitingIFill = true
 		e.waitLine = line

@@ -1,7 +1,5 @@
 package vcore
 
-import "container/heap"
-
 // evKind enumerates the Engine's internal event types.
 type evKind uint8
 
@@ -37,34 +35,34 @@ type event struct {
 	a    uint64 // kind-specific payload (e.g. line address)
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].ord < h[j].ord
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// eventQueue is a deterministic time-ordered queue.
+// eventQueue is a deterministic time-ordered queue: a hand-rolled binary
+// min-heap over (at, ord). container/heap would box every event into an
+// interface value and allocate on each push; this queue reuses its backing
+// array for the whole run.
 type eventQueue struct {
-	h   eventHeap
+	h   []event
 	ord uint64
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].ord < q.h[j].ord
 }
 
 func (q *eventQueue) push(at int64, kind evKind, seq uint64, gen uint32, a uint64) {
 	q.ord++
-	heap.Push(&q.h, event{at: at, ord: q.ord, kind: kind, seq: seq, gen: gen, a: a})
+	q.h = append(q.h, event{at: at, ord: q.ord, kind: kind, seq: seq, gen: gen, a: a})
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
 }
 
 // popReady removes and returns the next event with at <= now, or ok=false.
@@ -72,7 +70,27 @@ func (q *eventQueue) popReady(now int64) (event, bool) {
 	if len(q.h) == 0 || q.h[0].at > now {
 		return event{}, false
 	}
-	return heap.Pop(&q.h).(event), true
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && q.less(l, m) {
+			m = l
+		}
+		if r < n && q.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q.h[i], q.h[m] = q.h[m], q.h[i]
+		i = m
+	}
+	return top, true
 }
 
 // nextAt returns the time of the earliest pending event.

@@ -1,0 +1,40 @@
+package vcore
+
+// seqFIFO is a queue of age tags with O(1) amortized push/pop that retains
+// its backing array. The naive `buf = buf[1:]` dequeue pattern permanently
+// forfeits capacity, forcing an allocation every few pushes on the fetch
+// hot path; this queue advances a head index instead and rewinds to the
+// array start whenever it empties.
+type seqFIFO struct {
+	buf  []uint64
+	head int
+}
+
+func (q *seqFIFO) Len() int { return len(q.buf) - q.head }
+
+// Front returns the oldest element; callers check Len first.
+func (q *seqFIFO) Front() uint64 { return q.buf[q.head] }
+
+func (q *seqFIFO) Push(s uint64) {
+	q.buf = append(q.buf, s)
+}
+
+func (q *seqFIFO) Pop() {
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+}
+
+// Filter drops every element with age tag >= from (pipeline flush).
+func (q *seqFIFO) Filter(from uint64) {
+	kept := q.buf[:0]
+	for _, s := range q.buf[q.head:] {
+		if s < from {
+			kept = append(kept, s)
+		}
+	}
+	q.buf = kept
+	q.head = 0
+}

@@ -1,0 +1,67 @@
+package vcore
+
+// memImage is the committed memory image of one thread: a paged map from
+// 8-byte-aligned word addresses to 64-bit values. The engine reads it on
+// every load hit and writes it on every store commit, so the hot path must
+// not pay a Go map operation per access: words are grouped into 4 KB pages
+// (flat arrays) and the most recently touched page is cached, making the
+// common in-page access a mask-and-index. Absent words read as zero, the
+// same semantics as isa.ArchState.Mem.
+type memImage struct {
+	pages    map[uint64]*memPage
+	lastKey  uint64
+	lastPage *memPage
+}
+
+// memPageWords is the page size in 8-byte words (4 KB pages).
+const memPageWords = 512
+
+type memPage [memPageWords]uint64
+
+func newMemImage() *memImage {
+	return &memImage{pages: make(map[uint64]*memPage)}
+}
+
+func (m *memImage) page(word uint64, create bool) *memPage {
+	key := word >> 12
+	if m.lastPage != nil && m.lastKey == key {
+		return m.lastPage
+	}
+	p := m.pages[key]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = new(memPage)
+		m.pages[key] = p
+	}
+	m.lastKey, m.lastPage = key, p
+	return p
+}
+
+// load returns the committed value at the word-aligned address.
+func (m *memImage) load(word uint64) uint64 {
+	p := m.page(word, false)
+	if p == nil {
+		return 0
+	}
+	return p[(word>>3)&(memPageWords-1)]
+}
+
+// store commits a value at the word-aligned address.
+func (m *memImage) store(word, val uint64) {
+	m.page(word, true)[(word>>3)&(memPageWords-1)] = val
+}
+
+// rangeWords visits every non-zero committed word (zero-valued words are
+// indistinguishable from untouched memory, matching ArchState semantics).
+func (m *memImage) rangeWords(f func(word, val uint64)) {
+	for key, p := range m.pages {
+		base := key << 12
+		for i, v := range p {
+			if v != 0 {
+				f(base+uint64(i)<<3, v)
+			}
+		}
+	}
+}

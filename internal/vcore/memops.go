@@ -12,6 +12,7 @@ func msg(src, dst noc.Coord) noc.Message { return noc.Message{Src: src, Dst: dst
 // generated and the operation is sorted over the load/store sorting network
 // to the Slice owning its cache line (§3.6, Fig. 8).
 func (e *Engine) issueLS(now int64, k int, seq uint64) {
+	e.activity++
 	f := e.flight(seq)
 	in := &e.tr[seq]
 	e.lsBusy[k] = now + 1
@@ -51,6 +52,7 @@ func (e *Engine) processEvents(now int64) {
 		if !ok {
 			return
 		}
+		e.activity++
 		switch ev.kind {
 		case evComplete:
 			e.onComplete(ev)
@@ -225,7 +227,7 @@ func (e *Engine) bindLoad(availAtOwner int64, seq uint64, val uint64) {
 }
 
 // memValue reads the committed memory image.
-func (e *Engine) memValue(word uint64) uint64 { return e.committedMem[word] }
+func (e *Engine) memValue(word uint64) uint64 { return e.mem.load(word) }
 
 func (e *Engine) onLoadFill(ev event) {
 	o := int(ev.seq)
@@ -296,7 +298,7 @@ func (e *Engine) finishStore(now int64, seq uint64) {
 	}
 	f.state = stDone
 	ws := f.fwdWaiters
-	f.fwdWaiters = nil
+	f.fwdWaiters = f.fwdWaiters[:0]
 	for _, w := range ws {
 		c := e.flight(w.seq)
 		if c.gen != w.gen || c.state != stIssued {
@@ -375,12 +377,12 @@ func (e *Engine) squash(from uint64, now int64) {
 		}
 		f.state = stEmpty
 		f.gen++
-		f.waiters = nil
-		f.fwdWaiters = nil
+		f.waiters = f.waiters[:0]
+		f.fwdWaiters = f.fwdWaiters[:0]
 		e.stats.Squashed++
 	}
 	for k := 0; k < n; k++ {
-		e.instBuf[k] = filterSeqs(e.instBuf[k], from)
+		e.instBuf[k].Filter(from)
 		e.aluWin[k] = filterSeqs(e.aluWin[k], from)
 		e.lsWin[k] = filterSeqs(e.lsWin[k], from)
 		e.lsq[k].SquashYoungerOrEqual(from)

@@ -88,8 +88,10 @@ func (e *Engine) notifyWaiters(pSeq uint64) {
 	if len(p.waiters) == 0 {
 		return
 	}
+	// p.scheduled is set before this runs, so no new waiters can be filed
+	// while the list is consumed; reusing the backing array is safe.
 	ws := p.waiters
-	p.waiters = nil
+	p.waiters = p.waiters[:0]
 	for _, w := range ws {
 		c := e.flight(w.seq)
 		if c.gen != w.gen || c.state == stEmpty {
