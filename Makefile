@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench lint check
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,12 @@ race:
 bench:
 	$(GO) test ./internal/sim -run '^$$' -bench BenchmarkMachineRun -benchtime 10x
 
-check: build vet test race
+# simlint enforces the determinism and hot-path invariants (see DESIGN.md,
+# "Static analysis"): no wall-clock/global-rand/env reads in simulator
+# packages, no order-dependent map iteration, allocation-free //ssim:hotpath
+# functions, complete stats lifecycle methods, and safe cycle-counter
+# conversions.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+check: build vet test race lint

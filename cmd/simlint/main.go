@@ -1,0 +1,245 @@
+// Command simlint runs SSim's static-analysis suite (see DESIGN.md,
+// "Static analysis"): five passes that enforce the simulator's determinism
+// and hot-path invariants.
+//
+// It runs in two modes:
+//
+//	simlint [flags] ./...          multichecker: load, check, print, exit 1
+//	                               if any diagnostic survives //ssim:nolint
+//	go vet -vettool=$(which simlint) ./...
+//	                               unitchecker: go vet drives simlint once
+//	                               per package via a *.cfg file
+//
+// Per-analyzer flags are exposed as -<analyzer>.<flag>, e.g.
+// -detrand.pkgs=internal/sim to narrow the determinism scope.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sharing/internal/analysis"
+	"sharing/internal/analysis/checker"
+	"sharing/internal/analysis/loader"
+	"sharing/internal/analysis/passes/cyclemath"
+	"sharing/internal/analysis/passes/detrand"
+	"sharing/internal/analysis/passes/hotalloc"
+	"sharing/internal/analysis/passes/maprange"
+	"sharing/internal/analysis/passes/statsguard"
+)
+
+var analyzers = []*analysis.Analyzer{
+	detrand.Analyzer,
+	maprange.Analyzer,
+	hotalloc.Analyzer,
+	statsguard.Analyzer,
+	cyclemath.Analyzer,
+}
+
+func main() {
+	// go vet probes its vettool with -V=full and -flags before use.
+	version := flag.String("V", "", "print version and exit (go vet protocol)")
+	printFlags := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
+	for _, a := range analyzers {
+		name := a.Name
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, name+"."+f.Name, f.Usage)
+		})
+	}
+	flag.Usage = usage
+	flag.Parse()
+
+	switch {
+	case *version != "":
+		// go vet parses this line for a tool build ID: with a "devel"
+		// version the last field must be buildID=<content hash>.
+		fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(os.Args[0]), selfHash())
+		return
+	case *printFlags:
+		describeFlags()
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(multicheck(args))
+}
+
+// selfHash digests the running binary so go vet can cache vet results per
+// tool build (stale caches would hide new findings after a simlint change).
+func selfHash() []byte {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return h.Sum(nil)
+			}
+		}
+	}
+	return []byte("unknown")
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages]\n\nAnalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nFlags:\n")
+	flag.PrintDefaults()
+}
+
+// describeFlags prints the tool's flags in the JSON shape `go vet -flags`
+// expects so it can forward -<analyzer>.<flag> options.
+func describeFlags() {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var out []jsonFlag
+	for _, a := range analyzers {
+		name := a.Name
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			out = append(out, jsonFlag{Name: name + "." + f.Name, Usage: f.Usage})
+		})
+	}
+	data, _ := json.Marshal(out)
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// multicheck is the standalone mode: load every matched package in the
+// current module, run all analyzers, print findings, exit 1 if any.
+func multicheck(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	diags, fset, err := checker.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	checker.Print(os.Stdout, fset, diags)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the *.cfg file go vet hands a vettool.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// unitcheck is the go vet protocol: analyze exactly one package described
+// by cfgFile, using export data go vet already built for its imports.
+// Findings go to stderr; exit status 2 signals them to go vet.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// go vet requires the output facts file to exist even though simlint
+	// has no facts to exchange.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := loadFromConfig(&cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	diags, fset, err := checker.Run([]*loader.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		checker.Print(os.Stderr, fset, diags)
+		return 2
+	}
+	return 0
+}
+
+// loadFromConfig parses and type-checks the unit described by a vet config.
+func loadFromConfig(cfg *vetConfig) (*loader.Package, error) {
+	fset := token.NewFileSet()
+	pkg := &loader.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Sources:    make(map[string][]byte, len(cfg.GoFiles)),
+	}
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Sources[name] = src
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg.Files = files
+	imp := loader.NewExportImporter(fset, func(path string) string {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return cfg.PackageFile[path]
+	})
+	pkg.Info = loader.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

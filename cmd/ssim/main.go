@@ -121,6 +121,10 @@ func main() {
 	if res.Invalidations > 0 {
 		fmt.Printf("coherence   %d invalidations\n", res.Invalidations)
 	}
+	if len(res.VCores) > 1 {
+		agg := res.AggregateVCore()
+		fmt.Printf("vm total    %s\n", agg.String())
+	}
 	for i, v := range res.VCores {
 		if !*verbose && i > 0 {
 			break

@@ -1,0 +1,125 @@
+// Package analysis is a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for SSim's needs: it defines the
+// Analyzer/Pass/Diagnostic vocabulary the simlint passes are written
+// against, so that each pass is a drop-in port target for the upstream
+// framework if the module ever vendors x/tools.
+//
+// The subset implemented here is deliberate: no Facts (simlint's passes are
+// single-package), no Requires graph (each pass is independent), and no
+// SuggestedFixes. What is kept API-compatible is the part that matters for
+// writing and testing a pass: an Analyzer with a name, doc string and flag
+// set; a Pass carrying the parsed files and full go/types information for
+// one package; and positioned Diagnostics.
+//
+// Two source-comment contracts extend the framework for SSim (documented in
+// DESIGN.md):
+//
+//	//ssim:hotpath            marks a function whose body (and same-package
+//	                          callees) the hotalloc pass keeps allocation-free
+//	//ssim:nolint <reason>    suppresses diagnostics on its line (or, for a
+//	                          standalone comment line, the line below); the
+//	                          reason is mandatory and may be scoped to one
+//	                          analyzer as  //ssim:nolint <name>: <reason>
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in nolint scopes. It must
+	// be a valid identifier.
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Flags holds pass-specific flags, registered by the pass's package and
+	// exposed by the multichecker as -<name>.<flag>.
+	Flags flag.FlagSet
+	// Run applies the pass to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver fills Category.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos token.Pos
+	// Category is the reporting analyzer's name (set by the driver).
+	Category string
+	Message  string
+}
+
+// Preorder visits every node of every file in depth-first preorder, calling
+// fn for each. It is the walking helper the passes share (the analogue of
+// the x/tools inspector's Preorder without the node-type filter bitmask).
+func Preorder(files []*ast.File, fn func(ast.Node)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// MatchPackage reports whether a package import path falls in scope of a
+// comma-separated scope entry such as "internal/sim". An entry matches the
+// path itself, a suffix component ("sharing/internal/sim" vs "internal/sim"),
+// or any package nested below it.
+func MatchPackage(path, entry string) bool {
+	if entry == "" {
+		return false
+	}
+	if path == entry {
+		return true
+	}
+	if len(path) > len(entry) {
+		if path[len(path)-len(entry)-1] == '/' && path[len(path)-len(entry):] == entry {
+			return true
+		}
+	}
+	// Nested below the entry: ".../<entry>/..." or "<entry>/...".
+	for i := 0; i+len(entry) <= len(path); i++ {
+		if path[i:i+len(entry)] == entry &&
+			(i == 0 || path[i-1] == '/') &&
+			i+len(entry) < len(path) && path[i+len(entry)] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// InScope reports whether path matches any entry of the scope list.
+func InScope(path string, scope []string) bool {
+	for _, e := range scope {
+		if MatchPackage(path, e) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+func TestMatchPackage(t *testing.T) {
+	cases := []struct {
+		path, entry string
+		want        bool
+	}{
+		{"internal/sim", "internal/sim", true},
+		{"sharing/internal/sim", "internal/sim", true},
+		{"sharing/internal/sim/sub", "internal/sim", true},
+		{"internal/sim/sub", "internal/sim", true},
+		{"sharing/internal/simx", "internal/sim", false},
+		{"sharing/internal/xsim", "internal/sim", false},
+		{"a", "a", true},
+		{"outofscope", "a", false},
+		{"sharing/internal/sim", "", false},
+	}
+	for _, c := range cases {
+		if got := MatchPackage(c.path, c.entry); got != c.want {
+			t.Errorf("MatchPackage(%q, %q) = %v, want %v", c.path, c.entry, got, c.want)
+		}
+	}
+	if !InScope("sharing/internal/noc", []string{"internal/sim", "internal/noc"}) {
+		t.Error("InScope failed to match second entry")
+	}
+	if InScope("sharing/internal/econ", []string{"internal/sim"}) {
+		t.Error("InScope matched a package outside every entry")
+	}
+}

@@ -1,0 +1,257 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want "regex" comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract closely enough that
+// the pass tests would port unchanged.
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. A line may carry one or
+// more expectations:
+//
+//	_ = rand.Intn(4) // want `global rand`
+//	x, y := f()      // want "first" "second"
+//
+// Each quoted string is a regexp that must match the message of exactly one
+// diagnostic reported on that line; diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, fail the test.
+//
+// The //ssim:nolint contract is applied exactly as cmd/simlint applies it:
+// suppressed diagnostics are dropped before matching, and malformed
+// directives surface as diagnostics of category "nolint", so fixtures can
+// assert on both halves of the escape hatch.
+//
+// Fixture imports are resolved offline: the harness runs
+// `go list -export -deps -json` from the module root to locate compiled
+// export data for any standard-library packages the fixtures import.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sharing/internal/analysis"
+	"sharing/internal/analysis/loader"
+)
+
+// Run analyzes each fixture package under testdata/src and reports
+// mismatches between diagnostics and want comments via t.Errorf.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPackage(t, filepath.Join(testdata, "src", pkg), pkg, a)
+	}
+}
+
+// TestData returns the testdata directory of the calling test's package.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+func runPackage(t *testing.T, dir, path string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	sources := make(map[string][]byte, len(names))
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[name] = src
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{Importer: stdImporter(t, fset, files)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", path, err)
+	}
+
+	supp := analysis.NewSuppressions(fset, files,
+		func(name string) []byte { return sources[name] }, []string{a.Name})
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report: func(d analysis.Diagnostic) {
+			d.Category = a.Name
+			diags = append(diags, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if !supp.Suppressed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, supp.Malformed()...)
+
+	match(t, fset, files, sources, kept)
+}
+
+// expectation is one want regexp attached to a source line.
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// match compares diagnostics against // want comments.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, sources map[string][]byte, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[fileLine][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range quotedStrings(text[len("want "):]) {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					k := fileLine{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &expectation{rx: rx, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := fileLine{pos.Filename, pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Category)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// quotedStrings extracts the Go-quoted or backquoted strings of a want
+// comment's payload.
+func quotedStrings(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(s) {
+				if uq, err := strconv.Unquote(s[i : j+1]); err == nil {
+					out = append(out, uq)
+				}
+				i = j
+			}
+		case '`':
+			j := i + 1
+			for j < len(s) && s[j] != '`' {
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i+1:j])
+				i = j
+			}
+		}
+	}
+	return out
+}
+
+// stdImporter builds an importer for whatever standard-library packages the
+// fixture files mention, using go list's export data. Results are cached
+// per test binary.
+var (
+	exportFiles = map[string]string{}
+	exportKnown = map[string]bool{}
+)
+
+func stdImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	var need []string
+	for _, f := range files {
+		for _, im := range f.Imports {
+			path, err := strconv.Unquote(im.Path.Value)
+			if err != nil || exportKnown[path] {
+				continue
+			}
+			exportKnown[path] = true
+			need = append(need, path)
+		}
+	}
+	if len(need) > 0 {
+		args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, need...)
+		cmd := exec.Command("go", args...)
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go list for fixture imports %v: %v", need, err)
+		}
+		type entry struct{ ImportPath, Export string }
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var e entry
+			if err := dec.Decode(&e); err != nil {
+				break
+			}
+			if e.Export != "" {
+				exportFiles[e.ImportPath] = e.Export
+			}
+		}
+	}
+	return loader.NewExportImporter(fset, func(path string) string { return exportFiles[path] })
+}

@@ -1,0 +1,76 @@
+// Package checker runs a set of analyzers over loaded packages, applies the
+// //ssim:nolint suppression contract, and renders diagnostics. It is the
+// shared driver behind both cmd/simlint's multichecker mode and its
+// unitchecker (go vet -vettool) mode.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"sharing/internal/analysis"
+	"sharing/internal/analysis/loader"
+)
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics in (file, line, column) order. Suppressed diagnostics are
+// dropped; malformed //ssim:nolint directives are reported as diagnostics
+// of category "nolint".
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	var out []analysis.Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		supp := analysis.NewSuppressions(pkg.Fset, pkg.Files, pkg.Source, names)
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				d.Category = name
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		for _, d := range diags {
+			if !supp.Suppressed(pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, supp.Malformed()...)
+	}
+	if fset != nil {
+		sort.SliceStable(out, func(i, j int) bool {
+			pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return pi.Column < pj.Column
+		})
+	}
+	return out, fset, nil
+}
+
+// Print renders diagnostics one per line as "file:line:col: message [name]".
+func Print(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Category)
+	}
+}

@@ -1,0 +1,75 @@
+package checker
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sharing/internal/analysis"
+	"sharing/internal/analysis/loader"
+)
+
+// TestLoadAndRun drives the loader and checker end-to-end over a real
+// package of this module, with a probe analyzer that reports every function
+// declaration. It pins down the offline go list + export-data pipeline that
+// cmd/simlint's multichecker mode depends on.
+func TestLoadAndRun(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(wd))) // internal/analysis/checker -> module root
+	pkgs, err := loader.Load(root, []string{"./internal/econ"})
+	if err != nil {
+		t.Fatalf("loader.Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Fatal("loaded package is missing types, info, or files")
+	}
+	if !strings.HasSuffix(pkg.ImportPath, "internal/econ") {
+		t.Fatalf("ImportPath = %q", pkg.ImportPath)
+	}
+
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "reports every function declaration",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, fset, err := Run(pkgs, []*analysis.Analyzer{probe})
+	if err != nil {
+		t.Fatalf("checker.Run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("probe analyzer found no function declarations")
+	}
+	if fset == nil {
+		t.Fatal("nil fset")
+	}
+	for _, d := range diags {
+		if d.Category != "probe" {
+			t.Fatalf("diagnostic category = %q, want probe", d.Category)
+		}
+	}
+	// Diagnostics must arrive sorted by position.
+	for i := 1; i < len(diags); i++ {
+		a, b := fset.Position(diags[i-1].Pos), fset.Position(diags[i].Pos)
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %v after %v", b, a)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package loader loads and type-checks the packages simlint analyzes.
+//
+// It deliberately avoids golang.org/x/tools/go/packages (the module is
+// dependency-free): packages are enumerated with `go list -export -deps
+// -json`, which also compiles export data for every dependency into the
+// build cache, and each target package is then parsed with go/parser and
+// type-checked with go/types against that export data. The whole pipeline
+// works offline — nothing is downloaded, the standard toolchain does all
+// resolution — and stays byte-compatible with what the compiler itself sees.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Sources caches file contents by filename (for nolint layout checks).
+	Sources map[string][]byte
+}
+
+// Source returns the cached source bytes of filename, or nil.
+func (p *Package) Source(filename string) []byte { return p.Sources[filename] }
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, typically
+// the module root) and type-checks every non-dependency match.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("loader: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, func(path string) string { return exports[path] })
+	var out []*Package
+	for _, lp := range targets {
+		pkg, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes its output stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(stdout)
+	var pkgs []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("loader: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Sources:    make(map[string][]byte, len(lp.GoFiles)),
+	}
+	for _, name := range lp.GoFiles {
+		filename := filepath.Join(lp.Dir, name)
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Sources[filename] = src
+		f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// NewInfo allocates a fully populated types.Info.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// NewExportImporter builds a types.Importer that reads gc export data files,
+// resolving an import path to its export file via resolve (empty string =
+// unknown path).
+func NewExportImporter(fset *token.FileSet, resolve func(path string) string) types.Importer {
+	return newExportImporter(fset, resolve)
+}
+
+type exportImporter struct {
+	gc      types.Importer
+	resolve func(string) string
+}
+
+func newExportImporter(fset *token.FileSet, resolve func(path string) string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file := resolve(path)
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup), resolve: resolve}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const nolintSrc = `package p
+
+func f() {
+	a() //ssim:nolint covers only this line
+	b()
+	//ssim:nolint standalone covers the next line
+	c()
+	d() //ssim:nolint detrand: scoped to one analyzer
+	e() //ssim:nolint
+}
+`
+
+func TestSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", nolintSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supp := NewSuppressions(fset, []*ast.File{f},
+		func(string) []byte { return []byte(nolintSrc) }, []string{"detrand", "hotalloc"})
+
+	tf := fset.File(f.Pos())
+	at := func(line int, category string) Diagnostic {
+		return Diagnostic{Pos: tf.LineStart(line), Category: category, Message: "x"}
+	}
+
+	cases := []struct {
+		line     int
+		category string
+		want     bool
+		why      string
+	}{
+		{4, "hotalloc", true, "inline directive covers its own line"},
+		{5, "hotalloc", false, "inline directive does not leak to the next line"},
+		{6, "detrand", true, "standalone directive covers its own line"},
+		{7, "detrand", true, "standalone directive covers the following line"},
+		{8, "detrand", true, "scoped directive suppresses its analyzer"},
+		{8, "hotalloc", false, "scoped directive leaves other analyzers alone"},
+		{9, "detrand", false, "malformed (reasonless) directive suppresses nothing"},
+	}
+	for _, c := range cases {
+		if got := supp.Suppressed(fset, at(c.line, c.category)); got != c.want {
+			t.Errorf("line %d [%s]: Suppressed = %v, want %v (%s)", c.line, c.category, got, c.want, c.why)
+		}
+	}
+
+	mal := supp.Malformed()
+	if len(mal) != 1 {
+		t.Fatalf("Malformed() returned %d diagnostics, want 1", len(mal))
+	}
+	if pos := fset.Position(mal[0].Pos); pos.Line != 9 {
+		t.Errorf("malformed directive reported at line %d, want 9", pos.Line)
+	}
+	if !strings.Contains(mal[0].Message, "requires a reason") {
+		t.Errorf("malformed message = %q, want it to mention the missing reason", mal[0].Message)
+	}
+	if mal[0].Category != "nolint" {
+		t.Errorf("malformed category = %q, want \"nolint\"", mal[0].Category)
+	}
+}
+
+// TestScopedUnknownAnalyzer checks that a colon inside an ordinary reason is
+// not mistaken for an analyzer scope.
+func TestScopedUnknownAnalyzer(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\ta() //ssim:nolint see issue: details in tracker\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supp := NewSuppressions(fset, []*ast.File{f},
+		func(string) []byte { return []byte(src) }, []string{"detrand"})
+	tf := fset.File(f.Pos())
+	d := Diagnostic{Pos: tf.LineStart(4), Category: "detrand", Message: "x"}
+	if !supp.Suppressed(fset, d) {
+		t.Error("unscoped directive with a colon in the reason should suppress every analyzer")
+	}
+}

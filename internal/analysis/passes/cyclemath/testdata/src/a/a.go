@@ -1,0 +1,23 @@
+package a
+
+func bad(a, b int64, i int) {
+	_ = int32(i)      // want `narrowing conversion int32\(int\)`
+	_ = int8(i)       // want `narrowing conversion int8\(int\)`
+	_ = uint32(a)     // want `narrowing conversion uint32\(int64\)`
+	_ = uint64(a - b) // want `uint64 of signed subtraction`
+}
+
+// good shows the bounded shapes the analyzer exempts.
+func good(entries int, x uint64, s []int) {
+	_ = uint64(entries - 1)      // mask construction: subtracting a constant
+	_ = int(x % 8)               // modulus bounds the result
+	_ = uint32(x & 0xffff)       // mask bounds the result
+	_ = uint64(len(s))           // len is non-negative and bounded
+	_ = int64(x)                 // same-width reinterpretation (delta codecs)
+	_ = uint8(1 + (entries-1)%7) // constant plus bounded term
+	_ = int32(100)               // constants are the compiler's problem
+}
+
+func excused(k int) {
+	_ = int8(k) //ssim:nolint cyclemath: k is a Slice index, bounded by 8
+}

@@ -1,0 +1,5 @@
+// Package outofscope narrows an int outside the analyzer's -pkgs scope;
+// nothing is reported.
+package outofscope
+
+func alsoBad(i int) int8 { return int8(i) }

@@ -1,0 +1,28 @@
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(8)            // want `global rand source`
+	_ = rand.Float64()          // want `global rand source`
+	_ = time.Now()              // want `wall clock`
+	_ = time.Since(time.Time{}) // want `wall clock`
+	_, _ = os.LookupEnv("X")    // want `environment-dependent`
+	_ = os.Getenv("HOME")       // want `environment-dependent`
+}
+
+// good threads randomness through a seeded generator, the sanctioned way.
+func good(r *rand.Rand) {
+	_ = r.Intn(8)
+	src := rand.New(rand.NewSource(42))
+	_ = src.Float64()
+	_ = time.Duration(5) * time.Second
+}
+
+func excused() {
+	_ = time.Now() //ssim:nolint detrand: wall time feeds a progress log, never a result
+}

@@ -1,0 +1,9 @@
+// Package outofscope contains the same violations as package a but is not
+// listed in the analyzer's -pkgs scope, so nothing is reported.
+package outofscope
+
+import "time"
+
+func alsoBad() {
+	_ = time.Now()
+}

@@ -1,0 +1,11 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"sharing/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "a")
+}

@@ -1,0 +1,51 @@
+package a
+
+import "fmt"
+
+type T struct{ n int }
+
+func NewT() *T { return &T{} }
+
+func consume(v interface{}) bool { return v != nil }
+
+// hot is a hot-path root; its body and its same-package callees must not
+// allocate.
+//
+//ssim:hotpath
+func hot(t *T) {
+	t.helper()
+	_ = fmt.Sprintf("%d", t.n) // want `fmt.Sprintf allocates`
+	f := func() {}             // want `closure allocates`
+	f()
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	s := []int{1} // want `slice literal allocates`
+	_ = s
+	b := make([]byte, 8) // want `make allocates`
+	_ = b
+	_ = NewT()       // want `constructor NewT called`
+	_ = consume(t.n) // want `int boxed into interface parameter`
+	if t.n < 0 {
+		panic(fmt.Sprintf("fmt inside panic is exempt: %d", t.n))
+	}
+}
+
+// helper is pulled into the hot set transitively through hot's call.
+func (t *T) helper() {
+	_ = make(map[string]int) // want `make allocates`
+}
+
+// cold is not reachable from any hot-path root; it may allocate freely.
+func cold() {
+	_ = map[int]int{}
+	_ = fmt.Sprint("fine")
+}
+
+//ssim:hotpath
+func excusedHot() {
+	_ = make([]int, 4) //ssim:nolint hotalloc: one-time warmup buffer, reused afterwards
+	var arr [4]int
+	_ = arr[:] // slicing an array allocates nothing
+	type pair struct{ a, b int }
+	_ = pair{1, 2} // struct literals stay on the stack
+}

@@ -1,0 +1,282 @@
+// Package maprange defines a simlint analyzer that flags iteration over Go
+// maps where the loop body lets iteration order leak into results.
+//
+// Go randomizes map iteration order per run, so any map range whose body
+// appends values, writes output, sends messages, accumulates floats, or
+// exits early produces run-to-run differences — exactly the class of bug
+// that would silently break SSim's byte-identical sweep reproduction.
+//
+// The sanctioned pattern is the one internal/hypervisor/scheduler.go uses:
+// collect the keys into a slice, sort it, then iterate the slice. Plain
+// key-collection loops (`ids = append(ids, id)`) are therefore recognized
+// and allowed, as are order-independent bodies: writes to another map keyed
+// by the loop key, integer accumulation, and pure max/min reductions over
+// values.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sharing/internal/analysis"
+	"sharing/internal/analysis/passes/detrand"
+)
+
+// DefaultScope extends the deterministic core with the experiment drivers,
+// whose reports feed the paper's tables directly.
+const DefaultScope = detrand.DefaultScope + ",internal/experiments"
+
+var scope string
+
+// Analyzer is the maprange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration whose body lets map order leak into results; collect and sort keys instead",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "pkgs", DefaultScope,
+		"comma-separated package scopes checked for order-dependent map iteration")
+}
+
+// outputMethods are method names through which loop values escape in
+// iteration order (NoC sends, writers, printers).
+var outputMethods = map[string]bool{
+	"Send": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), strings.Split(scope, ",")) {
+		return nil
+	}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		c := &checker{pass: pass, rs: rs}
+		c.key = c.rangeVar(rs.Key)
+		c.value = c.rangeVar(rs.Value)
+		if c.isKeyCollectLoop() {
+			return // `ids = append(ids, id)`: the sort-the-keys idiom
+		}
+		c.walkBody()
+	})
+	return nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	rs         *ast.RangeStmt
+	key, value types.Object
+}
+
+// rangeVar resolves a range variable expression to its object (nil for `_`
+// or absent variables).
+func (c *checker) rangeVar(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := c.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// isKeyCollectLoop reports whether every statement of the body is a bare
+// key-collection append.
+func (c *checker) isKeyCollectLoop() bool {
+	if len(c.rs.Body.List) == 0 {
+		return false
+	}
+	for _, st := range c.rs.Body.List {
+		if !c.isKeyCollect(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) isKeyCollect(st ast.Stmt) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(c.pass, call.Fun, "append") || len(call.Args) < 2 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	arg0, ok0 := call.Args[0].(*ast.Ident)
+	if !ok || !ok0 || c.pass.TypesInfo.Uses[lhs] == nil ||
+		c.pass.TypesInfo.Uses[lhs] != c.pass.TypesInfo.Uses[arg0] {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		if !c.isKeyIdent(a) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) isKeyIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && c.key != nil && c.pass.TypesInfo.Uses[id] == c.key
+}
+
+// walkBody scans the loop body and reports order-dependent escapes. Nested
+// map ranges are skipped (they are analyzed independently).
+func (c *checker) walkBody() {
+	ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := c.pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil {
+				c.pass.Reportf(n.Pos(),
+					"break out of map iteration: which entry was reached depends on map order; iterate sorted keys instead (cf. internal/hypervisor/scheduler.go)")
+			}
+		case *ast.ReturnStmt:
+			c.pass.Reportf(n.Pos(),
+				"return inside map iteration selects an arbitrary entry; iterate sorted keys instead")
+		case *ast.SendStmt:
+			c.pass.Reportf(n.Pos(),
+				"channel send inside map iteration emits values in map order; iterate sorted keys instead")
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	// Floating-point accumulation: += etc. on a float is order-dependent
+	// because float addition is not associative.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, l := range as.Lhs {
+			if tv, ok := c.pass.TypesInfo.Types[l]; ok {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+					c.pass.Reportf(as.Pos(),
+						"floating-point accumulation in map order is not associative; accumulate over sorted keys")
+					return
+				}
+			}
+		}
+	}
+	for i, l := range as.Lhs {
+		// Writing another map at the loop key is order-independent.
+		if ix, ok := l.(*ast.IndexExpr); ok && c.isKeyIdent(ix.Index) {
+			continue
+		}
+		if c.isLoopLocal(l) {
+			continue
+		}
+		if i < len(as.Rhs) && c.mentions(as.Rhs[i], c.key) {
+			c.pass.Reportf(as.Pos(),
+				"key-dependent value escapes the map iteration; the surviving value depends on map order")
+		}
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if isBuiltin(c.pass, call.Fun, "append") && len(call.Args) >= 2 {
+		keyOnly := true
+		for _, a := range call.Args[1:] {
+			if !c.isKeyIdent(a) {
+				keyOnly = false
+				break
+			}
+		}
+		if !keyOnly {
+			c.pass.Reportf(call.Pos(),
+				"append inside map iteration stores values in map order; collect the keys, sort them, then build the slice")
+		}
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				c.pass.Reportf(call.Pos(),
+					"fmt output inside map iteration prints in map order; iterate sorted keys instead")
+				return
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && outputMethods[fn.Name()] {
+				c.pass.Reportf(call.Pos(),
+					"%s call inside map iteration emits in map order; iterate sorted keys instead", fn.Name())
+			}
+		}
+	}
+}
+
+// isLoopLocal reports whether the assigned expression's root object is
+// declared inside the range statement.
+func (c *checker) isLoopLocal(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Defs[x]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Uses[x]
+			}
+			if obj == nil {
+				return true // blank or unresolved: nothing escapes
+			}
+			return obj.Pos() >= c.rs.Pos() && obj.Pos() <= c.rs.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// mentions reports whether expr references obj.
+func (c *checker) mentions(expr ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

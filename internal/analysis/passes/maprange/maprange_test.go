@@ -1,0 +1,15 @@
+package maprange
+
+import (
+	"testing"
+
+	"sharing/internal/analysis/analysistest"
+)
+
+func TestMaprange(t *testing.T) {
+	if err := Analyzer.Flags.Set("pkgs", "a"); err != nil {
+		t.Fatal(err)
+	}
+	defer Analyzer.Flags.Set("pkgs", DefaultScope)
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "a", "outofscope")
+}

@@ -1,0 +1,78 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func bad(m map[string]int, out []int) []int {
+	for _, v := range m {
+		out = append(out, v) // want `append inside map iteration`
+	}
+	for k := range m {
+		if k == "x" {
+			break // want `break out of map iteration`
+		}
+	}
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt output inside map iteration`
+	}
+	return out
+}
+
+func badFloat(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation`
+	}
+	return sum
+}
+
+func badReturn(m map[int]int) int {
+	for _, v := range m {
+		return v // want `return inside map iteration`
+	}
+	return 0
+}
+
+func badEscape(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k + "!" // want `key-dependent value escapes`
+	}
+	return last
+}
+
+// good shows the sanctioned shapes: collect-and-sort keys, map writes keyed
+// by the loop key, integer reductions, and loop-local work.
+func good(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	doubled := make(map[string]int, len(m))
+	for k, v := range m {
+		doubled[k] = v * 2
+	}
+	n := 0
+	for _, v := range m {
+		n += v
+		local := v * v
+		_ = local
+	}
+	_, _ = total, n
+	return keys
+}
+
+func excused(m map[string]int, out []int) []int {
+	for _, v := range m {
+		//ssim:nolint maprange: consumer sorts the slice before use
+		out = append(out, v)
+	}
+	return out
+}

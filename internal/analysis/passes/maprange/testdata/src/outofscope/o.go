@@ -1,0 +1,10 @@
+// Package outofscope holds an order-dependent loop outside the analyzer's
+// -pkgs scope; nothing is reported.
+package outofscope
+
+func alsoBad(m map[int]int, out []int) []int {
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

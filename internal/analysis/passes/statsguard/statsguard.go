@@ -1,0 +1,120 @@
+// Package statsguard defines a simlint analyzer that keeps statistics
+// structs and their lifecycle methods in sync.
+//
+// SSim accumulates per-slice and per-machine counters in plain structs
+// (e.g. vcore.Stats) that are zeroed between intervals and folded together
+// when results are aggregated. The classic bug is adding a counter field and
+// forgetting to touch one of Reset/Add/Merge: the counter then silently
+// survives a reset or vanishes from aggregates, skewing the reproduced
+// tables without failing any test.
+//
+// The analyzer looks at every named struct type whose name is "Stats" or
+// ends in "Stats" and that declares at least one method named Reset, Add or
+// Merge. For each such method it requires every field of the struct to be
+// referenced through the receiver; a missing field is a diagnostic naming
+// both the field and the method. Fields that are deliberately excluded from
+// a method (e.g. a label that Reset keeps) are annotated with
+// //ssim:nolint statsguard: <reason> on the method's declaration line.
+package statsguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sharing/internal/analysis"
+)
+
+// Analyzer is the statsguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsguard",
+	Doc:  "require Reset/Add/Merge methods of *Stats structs to cover every field",
+	Run:  run,
+}
+
+// lifecycleMethods are the method names that must cover every field.
+var lifecycleMethods = map[string]bool{"Reset": true, "Add": true, "Merge": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !lifecycleMethods[fd.Name.Name] {
+				continue
+			}
+			named := receiverNamed(pass, fd)
+			if named == nil || !strings.HasSuffix(named.Obj().Name(), "Stats") {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			checkMethod(pass, fd, named, st)
+		}
+	}
+	return nil
+}
+
+// receiverNamed resolves a method's receiver base type to its named type.
+func receiverNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// checkMethod reports fields of st that the method body never touches.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, named *types.Named, st *types.Struct) {
+	touched := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := pass.TypesInfo.Selections[se]
+		if !ok || sel.Kind() != types.FieldVal {
+			return true
+		}
+		if v, ok := sel.Obj().(*types.Var); ok {
+			touched[v] = true
+		}
+		return true
+	})
+	// A whole-struct operation (*s = Stats{} or *s = other) covers every
+	// field at once; so does ranging/copying the receiver by value.
+	covered := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if tv, ok := pass.TypesInfo.Types[l]; ok && types.Identical(tv.Type, named) {
+				covered = true
+			}
+		}
+		return true
+	})
+	if covered {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" || touched[f] {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"%s.%s does not touch field %s; stats lifecycle methods must cover every field",
+			named.Obj().Name(), fd.Name.Name, f.Name())
+	}
+}

@@ -1,0 +1,11 @@
+package statsguard
+
+import (
+	"testing"
+
+	"sharing/internal/analysis/analysistest"
+)
+
+func TestStatsguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "a")
+}

@@ -1,0 +1,43 @@
+package a
+
+type RunStats struct {
+	Cycles int64
+	Loads  uint64
+	Name   string
+}
+
+func (s *RunStats) Reset() { // want `RunStats.Reset does not touch field Name`
+	s.Cycles = 0
+	s.Loads = 0
+}
+
+func (s *RunStats) Add(o *RunStats) { // want `RunStats.Add does not touch field Name`
+	s.Cycles += o.Cycles
+	s.Loads += o.Loads
+}
+
+// CleanStats covers every field: Reset by whole-struct assignment, Add
+// field by field.
+type CleanStats struct {
+	Hits, Misses uint64
+}
+
+func (s *CleanStats) Reset() { *s = CleanStats{} }
+
+func (s *CleanStats) Add(o *CleanStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+}
+
+// counter is not named *Stats, so its lifecycle methods are not checked.
+type counter struct{ n, lost int }
+
+func (c *counter) Reset() { c.n = 0 }
+
+type LabeledStats struct {
+	Ops   uint64
+	Label string
+}
+
+//ssim:nolint statsguard: Label identifies the series and survives Reset
+func (s *LabeledStats) Reset() { s.Ops = 0 }

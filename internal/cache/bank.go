@@ -98,6 +98,8 @@ func (h *HomeMap) Banks() []*Bank { return h.banks }
 
 // Home returns the bank homing lineAddr, or nil if the VM has no L2. Lines
 // are low-order interleaved across banks.
+//
+//ssim:hotpath
 func (h *HomeMap) Home(lineAddr uint64) *Bank {
 	if len(h.banks) == 0 {
 		return nil

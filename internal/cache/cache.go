@@ -111,6 +111,8 @@ func (c *Cache) set(addr uint64) ([]line, uint64) {
 
 // Lookup probes the cache. On a hit it updates LRU order and, if write is
 // set, marks the line dirty. It returns whether the access hit.
+//
+//ssim:hotpath
 func (c *Cache) Lookup(addr uint64, write bool) bool {
 	if c.cfg.SizeBytes == 0 {
 		c.Misses++
@@ -134,6 +136,8 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 }
 
 // Contains probes without updating LRU or statistics.
+//
+//ssim:hotpath
 func (c *Cache) Contains(addr uint64) bool {
 	if c.cfg.SizeBytes == 0 {
 		return false
@@ -151,6 +155,8 @@ func (c *Cache) Contains(addr uint64) bool {
 // dirty if dirty is set. If an existing line must be evicted, Fill returns
 // its line address and dirty status with evicted=true. Filling a line that
 // is already present just refreshes its LRU position (and ORs in dirty).
+//
+//ssim:hotpath
 func (c *Cache) Fill(addr uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
 	if c.cfg.SizeBytes == 0 {
 		return 0, false, false
@@ -187,6 +193,8 @@ func (c *Cache) Fill(addr uint64, dirty bool) (victim uint64, victimDirty, evict
 
 // Invalidate removes the line containing addr if present, reporting whether
 // it was present and whether it was dirty.
+//
+//ssim:hotpath
 func (c *Cache) Invalidate(addr uint64) (present, wasDirty bool) {
 	if c.cfg.SizeBytes == 0 {
 		return false, false

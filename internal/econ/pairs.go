@@ -26,11 +26,10 @@ func BestFixed(s Suite, utils []Utility, m Market) (Config, error) {
 	if len(s) == 0 || len(utils) == 0 {
 		return Config{}, fmt.Errorf("econ: empty suite or utility set")
 	}
-	var candidates []Config
-	for _, g := range s {
-		candidates = g.Configs()
-		break
-	}
+	// Candidate configs come from the first benchmark in sorted-name order:
+	// pulling them from an arbitrary map entry would make tie-breaks between
+	// equal-scoring configs depend on map iteration order.
+	candidates := s[s.Names()[0]].Configs()
 	var best Config
 	bestScore := -1.0
 	for _, cfg := range candidates {

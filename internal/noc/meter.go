@@ -33,6 +33,8 @@ func NewMeter(width int) *Meter {
 
 // Reserve claims one slot at the earliest cycle >= at with spare capacity
 // and returns that cycle.
+//
+//ssim:hotpath
 func (m *Meter) Reserve(at int64) int64 {
 	if at < 0 {
 		at = 0

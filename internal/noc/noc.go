@@ -145,7 +145,7 @@ func New(name string, w, h, width int) *Network {
 
 func (n *Network) meter(ms []*Meter, i int) *Meter {
 	if ms[i] == nil {
-		ms[i] = NewMeter(n.Width)
+		ms[i] = NewMeter(n.Width) //ssim:nolint hotalloc: lazy one-time port-meter init, at most one per tile per run
 	}
 	return ms[i]
 }
@@ -161,6 +161,8 @@ func (n *Network) index(c Coord) int {
 // accounts for injection-port contention at the source, per-hop latency, and
 // ejection-port contention at the destination. The message becomes visible
 // to Deliver at the returned cycle.
+//
+//ssim:hotpath
 func (n *Network) Send(now int64, m Message) int64 {
 	si, di := n.index(m.Src), n.index(m.Dst)
 	depart := n.meter(n.egress, si).Reserve(now)
@@ -168,6 +170,7 @@ func (n *Network) Send(now int64, m Message) int64 {
 	arrive := n.meter(n.ingress, di).Reserve(zeroLoad)
 	n.stats.Messages++
 	n.stats.TotalHops += uint64(Manhattan(m.Src, m.Dst))
+	//ssim:nolint cyclemath: Reserve(at) >= at by the Meter contract, so both differences are non-negative
 	n.stats.StallCycles += uint64((depart - now) + (arrive - zeroLoad))
 	if n.ff {
 		return arrive

@@ -105,6 +105,16 @@ func (r *Result) IPC() float64 {
 // performance ratios equal inverse cycle-count ratios.
 func (r *Result) Performance() float64 { return r.IPC() }
 
+// AggregateVCore folds the per-VCore statistics into one whole-VM view
+// (counters sum; Cycles is the slowest VCore's).
+func (r *Result) AggregateVCore() vcore.Stats {
+	var agg vcore.Stats
+	for i := range r.VCores {
+		agg.Add(&r.VCores[i])
+	}
+	return agg
+}
+
 // machine wires the uncore shared by all VCores of the VM.
 type machine struct {
 	home     *cache.HomeMap
@@ -154,6 +164,8 @@ func (m *machine) bankReal(idx, slot uint64) uint64 {
 
 // L2Load implements vcore.Uncore. The round-trip cost to a bank at h hops is
 // 2h + 4 cycles on a hit (Table 3: hit delay distance*2+4).
+//
+//ssim:hotpath
 func (u *uncoreFor) L2Load(now int64, from noc.Coord, addr uint64) int64 {
 	m := u.m
 	line := addr &^ 63
@@ -188,6 +200,8 @@ func (u *uncoreFor) L2Load(now int64, from noc.Coord, addr uint64) int64 {
 
 // StoreVisible implements vcore.Uncore: directory-driven invalidation of
 // remote VCores' L1 copies when a committed store drains (§3.5).
+//
+//ssim:hotpath
 func (u *uncoreFor) StoreVisible(now int64, from noc.Coord, addr uint64) int64 {
 	m := u.m
 	if !m.multiVC {
@@ -222,6 +236,8 @@ func (u *uncoreFor) StoreVisible(now int64, from noc.Coord, addr uint64) int64 {
 }
 
 // WritebackDirty implements vcore.Uncore.
+//
+//ssim:hotpath
 func (u *uncoreFor) WritebackDirty(now int64, from noc.Coord, addr uint64) {
 	m := u.m
 	line := addr &^ 63

@@ -125,6 +125,19 @@ func (q *LSQBank) SquashYoungerOrEqual(seq uint64) int {
 	return dropped
 }
 
+// YoungestAbove returns the largest age tag strictly greater than seq, or
+// ok=false if no entry is younger than seq. A full bank uses it to pick the
+// squash victim that frees room for an older arrival without a closure over
+// ForEach on the simulator's hot path.
+func (q *LSQBank) YoungestAbove(seq uint64) (youngest uint64, ok bool) {
+	for i := range q.entries {
+		if s := q.entries[i].Seq; s > seq && (!ok || s > youngest) {
+			youngest, ok = s, true
+		}
+	}
+	return youngest, ok
+}
+
 // ForEach visits every entry (read-only iteration helper for tests/stats).
 func (q *LSQBank) ForEach(f func(e LSQEntry)) {
 	for _, e := range q.entries {

@@ -186,6 +186,9 @@ func New(cfg Config, tr *trace.Trace, pos []noc.Coord, opNet, sortNet *noc.Netwo
 	if tr == nil || len(tr.Insts) == 0 {
 		return nil, fmt.Errorf("vcore: empty trace")
 	}
+	if len(tr.Insts) > math.MaxInt32 {
+		return nil, fmt.Errorf("vcore: trace %q has %d instructions; dependence indices are int32", tr.Name, len(tr.Insts))
+	}
 	e := &Engine{
 		cfg: cfg, tr: tr.Insts, name: tr.Name, uncore: uncore,
 		opNet: opNet, sortNet: sortNet, pos: pos,
@@ -282,7 +285,7 @@ func (e *Engine) computeDeps() {
 			e.deps2[i] = last[in.Src2]
 		}
 		if in.Op.HasDest() && in.Dest != isa.Zero {
-			last[in.Dest] = int32(i)
+			last[in.Dest] = int32(i) //ssim:nolint cyclemath: New rejects traces longer than MaxInt32
 		}
 	}
 }
@@ -347,6 +350,8 @@ func (e *Engine) InvalidateL1(addr uint64) {
 }
 
 // Tick advances the engine by one cycle.
+//
+//ssim:hotpath
 func (e *Engine) Tick(now int64) {
 	if e.Done() || e.err != nil {
 		return
@@ -358,6 +363,7 @@ func (e *Engine) Tick(now int64) {
 	e.dispatch(now)
 	e.fetch(now)
 	if now-e.lastCommit > 400000 {
+		//ssim:nolint hotalloc: deadlock-watchdog error path, taken at most once per run
 		e.err = fmt.Errorf("vcore: %s: no commit progress for %d cycles at cycle %d (head %d/%d, state %d)",
 			e.name, now-e.lastCommit, now, e.commitHead, len(e.tr), e.flight(e.commitHead).state)
 	}
@@ -369,6 +375,8 @@ func (e *Engine) Tick(now int64) {
 // return means the cycle was architecturally idle: nothing can happen
 // before NextWake(now), so callers may jump time forward after charging
 // the skipped span with AccountIdle.
+//
+//ssim:hotpath
 func (e *Engine) Step(now int64) bool {
 	a0 := e.activity
 	e.Tick(now)
@@ -386,6 +394,8 @@ const NeverWake = int64(math.MaxInt64 / 2)
 // whose operands become ready at a known future cycle, and timed front-end
 // bubbles. Everything else the engine does is a consequence of one of
 // those, so skipping straight to the minimum is cycle-exact.
+//
+//ssim:hotpath
 func (e *Engine) NextWake(now int64) int64 {
 	if e.Done() || e.err != nil {
 		return NeverWake
@@ -433,6 +443,8 @@ func (e *Engine) NextWake(now int64) int64 {
 // loop would have ticked through with no state change). It mirrors exactly
 // the counters Tick increments on an idle cycle, so event-driven and
 // strict-tick runs report identical stats.
+//
+//ssim:hotpath
 func (e *Engine) AccountIdle(delta int64, now int64) {
 	if delta <= 0 || e.Done() || e.err != nil {
 		return
@@ -872,6 +884,7 @@ func (e *Engine) fetch(now int64) {
 		// waiter slices' backing arrays so they are reused across the ring.
 		f := e.flight(seq)
 		ws, fws := f.waiters[:0], f.fwdWaiters[:0]
+		//ssim:nolint cyclemath: k is a Slice index, bounded by MaxSlices (8)
 		*f = instFlight{gen: f.gen, state: stInBuf, sl: int8(k),
 			readyAt: unknown, execDone: unknown, dataAt: unknown,
 			waiters: ws, fwdWaiters: fws}

@@ -32,7 +32,7 @@ func (m *memImage) page(word uint64, create bool) *memPage {
 		if !create {
 			return nil
 		}
-		p = new(memPage)
+		p = new(memPage) //ssim:nolint hotalloc: first-touch page fault, amortized over every later access
 		m.pages[key] = p
 	}
 	m.lastKey, m.lastPage = key, p

@@ -19,7 +19,7 @@ func (e *Engine) issueLS(now int64, k int, seq uint64) {
 	e.removeFromWindow(&e.lsWin[k], seq)
 	f.state = stIssued
 	f.word = in.Addr &^ 7
-	f.owner = int8(e.lineOwner(in.Addr))
+	f.owner = int8(e.lineOwner(in.Addr)) //ssim:nolint cyclemath: lineOwner < NumSlices <= 8
 	arr := e.sortNet.Send(now, msg(e.pos[k], e.pos[f.owner]))
 	e.stats.SortMsgs++
 	if in.Op.IsLoad() {
@@ -131,13 +131,7 @@ func (e *Engine) lsqMakeRoom(o int, seq uint64, now int64) bool {
 	if !e.lsq[o].Full() {
 		return true
 	}
-	var maxSeq uint64
-	found := false
-	e.lsq[o].ForEach(func(en slice.LSQEntry) {
-		if en.Seq > seq && (!found || en.Seq > maxSeq) {
-			maxSeq, found = en.Seq, true
-		}
-	})
+	maxSeq, found := e.lsq[o].YoungestAbove(seq)
 	if !found {
 		return false
 	}

@@ -31,6 +31,41 @@ type Stats struct {
 	CommitStallStoreB int64 // commit blocked on a full store buffer
 }
 
+// Reset zeroes every counter. The whole-struct assignment keeps it in sync
+// with the field list by construction (simlint's statsguard checks it).
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Add folds o into s for whole-VM aggregation: event counters sum, while
+// Cycles takes the maximum because VCores run concurrently and the VM is
+// done when its slowest thread is. Wait/stall cycle counters sum — across
+// VCores they read as total machine-cycles lost to each cause.
+func (s *Stats) Add(o *Stats) {
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles
+	}
+	s.Committed += o.Committed
+	s.Squashed += o.Squashed
+	s.Mispredicts += o.Mispredicts
+	s.Branches += o.Branches
+	s.Violations += o.Violations
+	s.LSQOverflows += o.LSQOverflows
+	s.OperandMsgs += o.OperandMsgs
+	s.SortMsgs += o.SortMsgs
+	s.RemoteFwd += o.RemoteFwd
+	s.L1DHits += o.L1DHits
+	s.L1DMisses += o.L1DMisses
+	s.L1IHits += o.L1IHits
+	s.L1IMisses += o.L1IMisses
+	s.L2Loads += o.L2Loads
+	s.BarrierWaits += o.BarrierWaits
+	s.FetchStallBranch += o.FetchStallBranch
+	s.FetchStallICache += o.FetchStallICache
+	s.FetchStallBuf += o.FetchStallBuf
+	s.FetchStallBubble += o.FetchStallBubble
+	s.RenameStallWindow += o.RenameStallWindow
+	s.CommitStallStoreB += o.CommitStallStoreB
+}
+
 // IPC returns committed instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {
