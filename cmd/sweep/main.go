@@ -19,6 +19,7 @@ import (
 
 	"sharing/internal/experiments"
 	"sharing/internal/plot"
+	"sharing/internal/sim"
 )
 
 func main() {
@@ -29,6 +30,10 @@ func main() {
 		seed       = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
 		results    = flag.String("results", "", "JSON results cache (reused across runs)")
 		traceCache = flag.String("tracecache", "", "directory for the binary trace cache (reused across runs)")
+		sample     = flag.Bool("sample", false, "sampled execution: functional warming with periodic detailed windows (fast; IPC is a statistical estimate, cached separately from exact results)")
+		sampleWin  = flag.Int("sample-window", 0, "sampled mode: instructions per detailed measurement window (0 = default)")
+		samplePer  = flag.Int("sample-period", 0, "sampled mode: instructions per sampling period, one window each (0 = default)")
+		sampleSeed = flag.Int64("sample-seed", 1, "sampled mode: seed deriving the window placement")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -62,6 +67,14 @@ func main() {
 	r := experiments.NewRunner()
 	r.TraceLen, r.Seed, r.ResultsPath = *n, *seed, *results
 	r.TraceCacheDir = *traceCache
+	if *sample {
+		r.Sample = sim.SampleParams{
+			Enabled:     true,
+			WindowInsts: *sampleWin,
+			PeriodInsts: *samplePer,
+			Seed:        *sampleSeed,
+		}
+	}
 	if !*quiet {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

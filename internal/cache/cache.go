@@ -191,6 +191,51 @@ func (c *Cache) Fill(addr uint64, dirty bool) (victim uint64, victimDirty, evict
 	return v.tag << c.lineShift, v.dirty, true
 }
 
+// Warm touches the line containing addr for functional warming (sampled
+// simulation): a hit refreshes LRU order (ORing in dirty), a miss fills the
+// line as most-recently-used. Unlike Lookup/Fill it updates no hit/miss/
+// eviction statistics, so warmed intervals leave the measured-window
+// counters untouched. The evicted victim, if any, is reported exactly like
+// Fill so callers can propagate dirty writebacks down the hierarchy.
+//
+//ssim:hotpath
+func (c *Cache) Warm(addr uint64, dirty bool) (hit bool, victim uint64, victimDirty, evicted bool) {
+	if c.cfg.SizeBytes == 0 {
+		return false, 0, false, false
+	}
+	setIdx := (addr >> c.lineShift) & c.setMask
+	set := c.sets[setIdx]
+	tag := addr >> c.lineShift
+	// MRU hit is the overwhelmingly common case in warming loops (repeated
+	// touches of the same working set); take it without the scan or the
+	// LRU rotation, which are both no-ops at position 0.
+	if len(set) > 0 && set[0].valid && set[0].tag == tag {
+		set[0].dirty = set[0].dirty || dirty
+		return true, 0, false, false
+	}
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			l := set[i]
+			l.dirty = l.dirty || dirty
+			copy(set[1:i+1], set[:i])
+			set[0] = l
+			return true, 0, false, false
+		}
+	}
+	nl := line{tag: tag, valid: true, dirty: dirty}
+	if len(set) < c.cfg.Ways {
+		set = append(set, line{})
+		copy(set[1:], set[:len(set)-1])
+		set[0] = nl
+		c.sets[setIdx] = set
+		return false, 0, false, false
+	}
+	v := set[len(set)-1]
+	copy(set[1:], set[:len(set)-1])
+	set[0] = nl
+	return false, v.tag << c.lineShift, v.dirty, true
+}
+
 // Invalidate removes the line containing addr if present, reporting whether
 // it was present and whether it was dirty.
 //

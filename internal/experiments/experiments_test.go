@@ -4,10 +4,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"sharing/internal/econ"
+	"sharing/internal/sim"
 )
 
 // tiny returns a Runner fast enough for unit tests.
@@ -160,5 +162,87 @@ func TestKeyString(t *testing.T) {
 	k := key{Bench: "gcc", Slices: 2, CacheKB: 128, N: 100, Seed: 1, Phase: -1}
 	if !strings.Contains(k.String(), "gcc/s2/c128") {
 		t.Fatalf("key = %s", k.String())
+	}
+}
+
+func TestMeasureSingleflight(t *testing.T) {
+	r := tiny(t)
+	var runs int32
+	r.Progress = func(string) { atomic.AddInt32(&runs, 1) }
+	cfg := econ.Config{Slices: 2, CacheKB: 128}
+	const callers = 8
+	var wg sync.WaitGroup
+	res := make([]Measurement, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i], errs[i] = r.Measure("astar", cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if res[i] != res[0] {
+			t.Fatalf("caller %d got %+v, caller 0 got %+v", i, res[i], res[0])
+		}
+	}
+	if got := atomic.LoadInt32(&runs); got != 1 {
+		t.Fatalf("simulation ran %d times for one key, want 1", got)
+	}
+}
+
+func TestSampledMeasurementsCacheSeparately(t *testing.T) {
+	r := tiny(t)
+	cfg := econ.Config{Slices: 2, CacheKB: 128}
+	exact, err := r.Measure("astar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Sampled || exact.Windows != 0 {
+		t.Fatalf("exact measurement carries sample fields: %+v", exact)
+	}
+	// Period chosen so the tiny test trace still gets several windows.
+	r.Sample = sim.SampleParams{Enabled: true, Seed: 3, PeriodInsts: 2000}
+	sampled, err := r.Measure("astar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sampled.Sampled || sampled.Windows == 0 {
+		t.Fatalf("sampled measurement not flagged: %+v", sampled)
+	}
+	if sampled.Cycles == exact.Cycles {
+		t.Fatal("sampled measurement identical to exact: cache keys collided")
+	}
+	// Flipping back must hit the exact cache entry, not the sampled one.
+	r.Sample = sim.SampleParams{}
+	again, err := r.Measure("astar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != exact {
+		t.Fatalf("exact remeasure %+v != original %+v", again, exact)
+	}
+}
+
+func TestSampledKeyNormalizesDefaults(t *testing.T) {
+	base := key{Bench: "gcc", Slices: 2, CacheKB: 128, N: 100, Seed: 1, Phase: -1}
+	zero, explicit := base, base
+	zero.Sample = sim.SampleParams{Enabled: true, Seed: 3}
+	explicit.Sample = sim.SampleParams{
+		Enabled:     true,
+		WindowInsts: sim.DefaultSampleWindow,
+		PeriodInsts: sim.DefaultSamplePeriod,
+		WarmupInsts: sim.DefaultSampleWarmup,
+		Seed:        3,
+	}
+	if zero.String() != explicit.String() {
+		t.Fatalf("default-by-zero key %q != explicit-default key %q", zero.String(), explicit.String())
+	}
+	if base.String() == zero.String() {
+		t.Fatal("sampled key not distinct from exact key")
 	}
 }

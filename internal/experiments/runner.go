@@ -40,6 +40,13 @@ var (
 type Measurement struct {
 	Cycles int64  `json:"cycles"`
 	Insts  uint64 `json:"insts"`
+	// Sampled marks a measurement produced by sampled simulation; Cycles
+	// is then an extrapolated estimate, Windows counts the detailed
+	// measurement windows behind it, and RelCI95 is the relative half-width
+	// of the CLT 95% confidence interval on IPC (see sim.SampleStats).
+	Sampled bool    `json:"sampled,omitempty"`
+	Windows int     `json:"windows,omitempty"`
+	RelCI95 float64 `json:"relCI95,omitempty"`
 }
 
 // IPC returns instructions per cycle.
@@ -59,10 +66,21 @@ type key struct {
 	Seed    int64  `json:"seed"`
 	Phase   int    `json:"phase"` // -1 = whole benchmark
 	OpNetW  int    `json:"opnetw"`
+	// Sample is the sampled-execution configuration (zero value = exact).
+	// It is part of the key, so sampled results are cached separately from
+	// exact ones and from runs with a different sampling geometry.
+	Sample sim.SampleParams `json:"sample"`
 }
 
 func (k key) String() string {
-	return fmt.Sprintf("%s/s%d/c%d/n%d/seed%d/ph%d/w%d", k.Bench, k.Slices, k.CacheKB, k.N, k.Seed, k.Phase, k.OpNetW)
+	s := fmt.Sprintf("%s/s%d/c%d/n%d/seed%d/ph%d/w%d", k.Bench, k.Slices, k.CacheKB, k.N, k.Seed, k.Phase, k.OpNetW)
+	if k.Sample.Enabled {
+		// Normalized, so "defaults by zero" and explicit defaults share an
+		// entry. Exact measurements keep their historical, suffix-free keys.
+		sp := k.Sample.Normalized()
+		s += fmt.Sprintf("/sampled.w%d.p%d.u%d.seed%d", sp.WindowInsts, sp.PeriodInsts, sp.WarmupInsts, sp.Seed)
+	}
+	return s
 }
 
 // Runner measures performance grids.
@@ -84,10 +102,21 @@ type Runner struct {
 	TraceCacheDir string
 	// Progress, when set, receives one line per completed measurement.
 	Progress func(string)
+	// Sample, when Enabled, runs every measurement in sampled mode with
+	// this geometry (see sim.SampleParams). Sampled measurements are cached
+	// under distinct keys, so exact and sampled results never mix.
+	Sample sim.SampleParams
 
-	mu    sync.Mutex
-	cache map[string]Measurement
-	dirty bool
+	mu       sync.Mutex
+	cache    map[string]Measurement
+	inflight map[string]chan struct{}
+	dirty    bool
+
+	// One worker pool shared by every concurrent grid (created lazily from
+	// workers()), so simultaneous Grid/SuiteGrids calls cannot multiply the
+	// simulation parallelism beyond the configured bound.
+	semOnce sync.Once
+	sem     chan struct{}
 
 	traceMu sync.Mutex
 	traceK  key
@@ -259,15 +288,42 @@ func (r *Runner) traceFor(bench string, phase int) (*trace.MultiTrace, error) {
 	return mt, nil
 }
 
-// measure runs (or recalls) one simulation.
+// measure runs (or recalls) one simulation. Concurrent callers asking for
+// the same key are collapsed onto a single simulation (singleflight): the
+// first becomes the leader and runs it, the rest wait on the leader's done
+// channel and then read the cache. Without this, a grid sweep racing a
+// figure driver over overlapping configurations would burn a worker slot
+// per duplicate on identical multi-second simulations.
 func (r *Runner) measure(k key) (Measurement, error) {
 	ks := k.String()
-	r.mu.Lock()
-	if m, ok := r.cache[ks]; ok {
+	for {
+		r.mu.Lock()
+		if m, ok := r.cache[ks]; ok {
+			r.mu.Unlock()
+			return m, nil
+		}
+		ch, busy := r.inflight[ks]
+		if !busy {
+			break // leader; r.mu still held
+		}
 		r.mu.Unlock()
-		return m, nil
+		<-ch
+		// The leader finished: its result is in the cache now, or it
+		// failed, in which case the next loop iteration elects a new
+		// leader to retry.
 	}
+	if r.inflight == nil {
+		r.inflight = make(map[string]chan struct{})
+	}
+	done := make(chan struct{})
+	r.inflight[ks] = done
 	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.inflight, ks)
+		r.mu.Unlock()
+		close(done)
+	}()
 	mt, err := r.traceFor(k.Bench, k.Phase)
 	if err != nil {
 		return Measurement{}, err
@@ -276,11 +332,17 @@ func (r *Runner) measure(k key) (Measurement, error) {
 	if k.OpNetW > 0 {
 		p.OperandNetWidth = k.OpNetW
 	}
+	p.Sample = k.Sample
 	res, err := sim.Run(p, mt)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("experiments: %s: %w", ks, err)
 	}
 	m := Measurement{Cycles: res.Cycles, Insts: res.Instructions}
+	if res.Sample != nil {
+		m.Sampled = true
+		m.Windows = res.Sample.Windows
+		m.RelCI95 = res.Sample.RelCI95
+	}
 	r.mu.Lock()
 	r.cache[ks] = m
 	r.dirty = true
@@ -291,19 +353,28 @@ func (r *Runner) measure(k key) (Measurement, error) {
 	return m, nil
 }
 
+// acquire claims a slot in the shared simulation worker pool; release
+// returns it. The pool is sized once, on first use, from workers().
+func (r *Runner) acquire() {
+	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.workers()) })
+	r.sem <- struct{}{}
+}
+
+func (r *Runner) release() { <-r.sem }
+
 // Measure returns the measurement for one benchmark and configuration.
 func (r *Runner) Measure(bench string, cfg econ.Config) (Measurement, error) {
-	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1})
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1, Sample: r.Sample})
 }
 
 // MeasurePhase returns the measurement for one phase of a benchmark.
 func (r *Runner) MeasurePhase(bench string, phase int, cfg econ.Config) (Measurement, error) {
-	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase})
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase, Sample: r.Sample})
 }
 
 // MeasureOpNet measures with an explicit operand-network width (ablation).
 func (r *Runner) MeasureOpNet(bench string, cfg econ.Config, width int) (Measurement, error) {
-	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1, OpNetW: width})
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1, OpNetW: width, Sample: r.Sample})
 }
 
 // Grid measures a benchmark over the given configuration grid, fanning the
@@ -332,15 +403,14 @@ func (r *Runner) gridPhase(bench string, phase int, slices, caches []int) (econ.
 	g := make(econ.Grid, len(jobs))
 	var mu sync.Mutex
 	var firstErr error
-	sem := make(chan struct{}, r.workers())
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(cfg econ.Config) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			m, err := r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase})
+			r.acquire()
+			defer r.release()
+			m, err := r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase, Sample: r.Sample})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {

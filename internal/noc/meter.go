@@ -24,11 +24,13 @@ func NewMeter(width int) *Meter {
 	if width <= 0 {
 		panic("noc: meter width must be positive")
 	}
-	m := &Meter{width: width, cyc: make([]int64, 1<<meterBits), cnt: make([]int32, 1<<meterBits)}
-	for i := range m.cyc {
-		m.cyc[i] = -1
-	}
-	return m
+	// The zero value of the window is a valid empty meter: a never-used
+	// slot i has cyc[i] == 0, which only aliases a reservation at cycle 0
+	// (slot 0), and there the count correctly starts at zero anyway. So no
+	// initialization pass is needed — meters are created lazily per tile
+	// on runs that may only live milliseconds, and a write pass over the
+	// window would dominate their cost.
+	return &Meter{width: width, cyc: make([]int64, 1<<meterBits), cnt: make([]int32, 1<<meterBits)}
 }
 
 // Reserve claims one slot at the earliest cycle >= at with spare capacity

@@ -41,6 +41,10 @@ type Params struct {
 	// on every cycle. It is the naive reference loop: slower, but useful for
 	// differential testing and debugging. Results are cycle-exact either way.
 	StrictTick bool
+	// Sample configures sampled execution (functional warming + detailed
+	// measurement windows). Zero value / Enabled=false keeps the exact,
+	// fully detailed mode, which remains the default.
+	Sample SampleParams
 }
 
 // DefaultParams returns the paper's base configuration for a VCore of n
@@ -71,6 +75,9 @@ func (p *Params) Validate() error {
 	if p.Mem.Latency < 1 {
 		return fmt.Errorf("sim: memory latency must be >= 1")
 	}
+	if err := p.Sample.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -90,6 +97,10 @@ type Result struct {
 	Invalidations uint64
 	// MemReads/MemWrites count main-memory accesses.
 	MemReads, MemWrites uint64
+	// Sample is set only for sampled runs: Cycles is then an extrapolated
+	// estimate and Sample carries the measurement windows' statistics and
+	// the CLT confidence interval. Nil for exact runs.
+	Sample *SampleStats
 }
 
 // IPC returns aggregate committed instructions per cycle.
@@ -125,6 +136,13 @@ type machine struct {
 	multiVC  bool
 	ctrls    []noc.Coord
 
+	// Fast bank math for power-of-two bank counts (the common case):
+	// bankIndex/bankSlot shift and mask instead of dividing by NumBanks.
+	// These run on every L2 access in both detailed and warming paths.
+	bankPow   bool
+	bankMask  uint64
+	bankShift uint
+
 	invalidations uint64
 	l2Hits        uint64
 	l2Misses      uint64
@@ -154,7 +172,19 @@ type uncoreFor struct {
 // residue; indexing on the raw address would leave most sets unused). The
 // mapping is bijective per bank.
 func (m *machine) bankIndex(line uint64) uint64 {
+	if m.bankPow {
+		return (line >> 6 >> m.bankShift) << 6
+	}
 	return (line >> 6) / uint64(m.home.NumBanks()) << 6
+}
+
+// bankSlot is the bank-interleave residue of a line address (which bank slot
+// the line maps to); the inverse pair of bankIndex.
+func (m *machine) bankSlot(line uint64) uint64 {
+	if m.bankPow {
+		return (line >> 6) & m.bankMask
+	}
+	return (line >> 6) % uint64(m.home.NumBanks())
 }
 
 // bankReal reconstructs the real line address from a bank's index space.
@@ -182,7 +212,7 @@ func (u *uncoreFor) L2Load(now int64, from noc.Coord, addr uint64) int64 {
 		bank.AddSharer(line, u.vc)
 	}
 	idx := m.bankIndex(line)
-	slot := (line >> 6) % uint64(m.home.NumBanks())
+	slot := m.bankSlot(line)
 	if bank.Tags.Lookup(idx, false) {
 		m.l2Hits++
 		return m.memNet.Send(acc, noc.Message{Src: bank.Pos, Dst: from})
@@ -248,12 +278,82 @@ func (u *uncoreFor) WritebackDirty(now int64, from noc.Coord, addr uint64) {
 	}
 	at := m.memNet.Send(now, noc.Message{Src: from, Dst: bank.Pos})
 	idx := m.bankIndex(line)
-	slot := (line >> 6) % uint64(m.home.NumBanks())
+	slot := m.bankSlot(line)
 	if victim, dirty, evicted := bank.Tags.Fill(idx, true); evicted {
 		bank.DropLine(m.bankReal(victim, slot))
 		if dirty {
 			m.memory.Access(at, true)
 		}
+	}
+}
+
+// WarmLoad implements vcore.WarmUncore: the timing-free twin of L2Load.
+// It updates the home bank's tag/LRU/dirty state, the directory sharer set,
+// and victim drop exactly as a detailed load would, but models no network,
+// port, or memory timing and counts no hits or misses — functional warming
+// must leave the measured windows' statistics untouched.
+//
+//ssim:hotpath
+func (u *uncoreFor) WarmLoad(addr uint64) {
+	m := u.m
+	line := addr &^ 63
+	bank := m.home.Home(line)
+	if bank == nil {
+		return
+	}
+	if m.multiVC {
+		bank.AddSharer(line, u.vc)
+	}
+	idx := m.bankIndex(line)
+	slot := m.bankSlot(line)
+	if hit, victim, _, evicted := bank.Tags.Warm(idx, false); !hit && evicted {
+		bank.DropLine(m.bankReal(victim, slot))
+	}
+}
+
+// WarmStore implements vcore.WarmUncore: the timing-free twin of
+// StoreVisible (directory-driven invalidation of remote VCores' L1 copies).
+//
+//ssim:hotpath
+func (u *uncoreFor) WarmStore(addr uint64) {
+	m := u.m
+	if !m.multiVC {
+		return
+	}
+	line := addr &^ 63
+	bank := m.home.Home(line)
+	if bank == nil {
+		return
+	}
+	others := bank.Sharers(line) &^ (1 << uint(u.vc))
+	if others == 0 {
+		bank.AddSharer(line, u.vc)
+		return
+	}
+	bank.ClearSharersExcept(line, u.vc)
+	for vc2 := range m.engines {
+		if vc2 == u.vc || others&(1<<uint(vc2)) == 0 {
+			continue
+		}
+		m.engines[vc2].InvalidateL1(line)
+	}
+}
+
+// WarmWriteback implements vcore.WarmUncore: the timing-free twin of
+// WritebackDirty (a dirty L1 victim installed in its home bank).
+//
+//ssim:hotpath
+func (u *uncoreFor) WarmWriteback(addr uint64) {
+	m := u.m
+	line := addr &^ 63
+	bank := m.home.Home(line)
+	if bank == nil {
+		return
+	}
+	idx := m.bankIndex(line)
+	slot := m.bankSlot(line)
+	if hit, victim, _, evicted := bank.Tags.Warm(idx, true); !hit && evicted {
+		bank.DropLine(m.bankReal(victim, slot))
 	}
 }
 
@@ -309,6 +409,13 @@ func NewMachine(p Params, mt *trace.MultiTrace) (*Machine, error) {
 			{X: 0, Y: h / 2}, {X: w - 1, Y: h / 2}, {X: w / 2, Y: 0}, {X: w / 2, Y: h - 1},
 		},
 	}
+	if nb := m.home.NumBanks(); nb > 0 && nb&(nb-1) == 0 {
+		m.bankPow = true
+		m.bankMask = uint64(nb - 1)
+		for 1<<m.bankShift < nb {
+			m.bankShift++
+		}
+	}
 	for _, b := range vm.Banks {
 		m.bankPort[b.ID] = noc.NewMeter(p.BankPortWidth)
 	}
@@ -339,28 +446,47 @@ func NewMachine(p Params, mt *trace.MultiTrace) (*Machine, error) {
 // AccountIdle, so results — cycles, instructions, every counter — are
 // bit-identical to the strict per-cycle loop (Params.StrictTick).
 func (mc *Machine) Run() (*Result, error) {
+	var t int64
+	if err := mc.runUntil(&t, nil); err != nil {
+		return nil, err
+	}
+	return mc.result(t + 1), nil
+}
+
+// runUntil drives the event-driven main loop from *t until every engine is
+// done or, when stop is non-nil, until stop reports the current measurement
+// window complete. *t is left at the last cycle executed, so a sampled
+// caller resumes at *t+1. The loop is shared verbatim between exact runs
+// (stop == nil) and the detailed windows of sampled runs, which keeps the
+// exact mode byte-identical by construction.
+//
+//ssim:hotpath
+func (mc *Machine) runUntil(t *int64, stop *windowStop) error {
 	p, m := mc.p, mc.m
 	maxCycles := p.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 2_000_000_000
 	}
-	var t int64
 	for {
+		now := *t
 		anyActive := false
 		done := true
 		for _, e := range m.engines {
-			if e.Step(t) {
+			if e.Step(now) {
 				anyActive = true
 			}
 			if err := e.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			if !e.Done() {
 				done = false
 			}
 		}
 		if done {
-			break
+			return nil
+		}
+		if stop != nil && stop.check(now) {
+			return nil
 		}
 		// Barrier rendezvous: release when every unfinished engine waits.
 		waiting, active := 0, 0
@@ -375,31 +501,39 @@ func (mc *Machine) Run() (*Result, error) {
 		}
 		if active > 0 && waiting == active {
 			for _, e := range m.engines {
-				e.ReleaseBarrier(t)
+				e.ReleaseBarrier(now)
 			}
 			anyActive = true
 		}
-		next := t + 1
+		next := now + 1
 		if !anyActive && !p.StrictTick {
 			next = vcore.NeverWake
 			for _, e := range m.engines {
-				if w := e.NextWake(t); w < next {
+				if w := e.NextWake(now); w < next {
 					next = w
 				}
 			}
 			if next >= vcore.NeverWake {
-				return nil, fmt.Errorf("sim: deadlock at cycle %d: all engines quiescent with no pending events", t)
+				//ssim:nolint hotalloc: deadlock error path, taken at most once per run
+				return fmt.Errorf("sim: deadlock at cycle %d: all engines quiescent with no pending events", now)
 			}
 			for _, e := range m.engines {
-				e.AccountIdle(next-t-1, t)
+				e.AccountIdle(next-now-1, now)
 			}
 		}
-		t = next
-		if t > maxCycles {
-			return nil, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxCycles)
+		*t = next
+		if *t > maxCycles {
+			//ssim:nolint hotalloc: runaway-simulation error path, taken at most once per run
+			return fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxCycles)
 		}
 	}
-	res := &Result{Cycles: t + 1, OpNet: mc.nets[0].Stats(), SortNet: mc.nets[1].Stats(), MemNet: mc.nets[2].Stats()}
+}
+
+// result assembles the Result after the main loop finished at the given
+// total cycle count.
+func (mc *Machine) result(cycles int64) *Result {
+	m := mc.m
+	res := &Result{Cycles: cycles, OpNet: mc.nets[0].Stats(), SortNet: mc.nets[1].Stats(), MemNet: mc.nets[2].Stats()}
 	for _, e := range m.engines {
 		res.Instructions += e.Committed()
 		res.VCores = append(res.VCores, *e.Stats())
@@ -407,14 +541,18 @@ func (mc *Machine) Run() (*Result, error) {
 	res.L2Hits, res.L2Misses = m.l2Hits, m.l2Misses
 	res.Invalidations = m.invalidations
 	res.MemReads, res.MemWrites = m.memory.Reads, m.memory.Writes
-	return res, nil
+	return res
 }
 
-// Run builds a Machine for mt under p and executes it to completion.
+// Run builds a Machine for mt under p and executes it to completion, in
+// exact mode or, when p.Sample.Enabled, in sampled mode.
 func Run(p Params, mt *trace.MultiTrace) (*Result, error) {
 	mc, err := NewMachine(p, mt)
 	if err != nil {
 		return nil, err
+	}
+	if p.Sample.Enabled {
+		return mc.RunSampled()
 	}
 	return mc.Run()
 }

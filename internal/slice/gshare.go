@@ -70,3 +70,17 @@ func (g *GShare) Train(pc uint64, taken, mispredicted bool) {
 		g.pending = g.pending[1:]
 	}
 }
+
+// Observe warms the predictor with a resolved branch outcome without
+// attributing a prediction to it: counters and the global history register
+// (including the in-flight lag window) evolve as in detailed execution, but
+// Lookups and Mispredicts stay untouched. It reports whether the current
+// state would have mispredicted the branch — functional fast-forward counts
+// these as a CPI-model feature. Used by functional fast-forward.
+//
+//ssim:hotpath
+func (g *GShare) Observe(pc uint64, taken bool) bool {
+	pred := g.counters[g.index(pc)] >= 2
+	g.Train(pc, taken, false)
+	return pred != taken
+}

@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"sharing/internal/isa"
 )
@@ -18,6 +19,45 @@ type Trace struct {
 	Name string
 	// Insts is the dynamic instruction sequence in fetch order.
 	Insts []isa.Inst
+
+	depsOnce     sync.Once
+	deps1, deps2 []int32
+}
+
+// Deps returns, for every instruction, the index of the instruction producing
+// each register source (-1 = initial register value, or the source is r0).
+// This is exactly the true-dependence information a renamer would discover;
+// it is a pure function of the instruction sequence, so it is computed once
+// on first use and shared by every simulation of the trace — sweeps re-run
+// the same trace under many machine configurations and must not pay the
+// O(len) scan per run. Callers must treat the returned slices as read-only.
+// Safe for concurrent use.
+func (t *Trace) Deps() (deps1, deps2 []int32) {
+	t.depsOnce.Do(t.computeDeps)
+	return t.deps1, t.deps2
+}
+
+func (t *Trace) computeDeps() {
+	n := len(t.Insts)
+	t.deps1 = make([]int32, n)
+	t.deps2 = make([]int32, n)
+	var last [isa.NumArchRegs]int32
+	for r := range last {
+		last[r] = -1
+	}
+	for i := 0; i < n; i++ {
+		in := &t.Insts[i]
+		t.deps1[i], t.deps2[i] = -1, -1
+		if in.Op.NumSrc() >= 1 && in.Src1 != isa.Zero {
+			t.deps1[i] = last[in.Src1]
+		}
+		if in.Op.NumSrc() >= 2 && in.Src2 != isa.Zero {
+			t.deps2[i] = last[in.Src2]
+		}
+		if in.Op.HasDest() && in.Dest != isa.Zero {
+			last[in.Dest] = int32(i) //ssim:nolint cyclemath: vcore.New rejects traces longer than MaxInt32
+		}
+	}
 }
 
 // Len returns the number of dynamic instructions.

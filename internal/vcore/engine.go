@@ -103,15 +103,22 @@ type regRet struct {
 
 // Engine is the cycle-level model of one VCore executing one thread trace.
 type Engine struct {
-	cfg     Config
-	tr      []isa.Inst
-	name    string
-	deps1   []int32
-	deps2   []int32
-	uncore  Uncore
-	opNet   *noc.Network
-	sortNet *noc.Network
-	pos     []noc.Coord
+	cfg   Config
+	tr    []isa.Inst
+	name  string
+	deps1 []int32
+	deps2 []int32
+	// Fast owner/index math for power-of-two slice counts (the common
+	// case): pcOwner/lineOwner mask with ownMask and l1dIndex/l1iIndex
+	// shift by ownShift instead of dividing by NumSlices.
+	ownPow   bool
+	ownMask  uint64
+	ownShift uint
+	uncore   Uncore
+	warmU    WarmUncore // uncore's functional-warming hooks, nil if unsupported
+	opNet    *noc.Network
+	sortNet  *noc.Network
+	pos      []noc.Coord
 
 	// Per-Slice structures.
 	pred    []*slice.Predictor
@@ -195,6 +202,7 @@ func New(cfg Config, tr *trace.Trace, pos []noc.Coord, opNet, sortNet *noc.Netwo
 		mem:           newMemImage(),
 		blockedBranch: -1,
 	}
+	e.warmU, _ = uncore.(WarmUncore)
 	n := cfg.NumSlices
 	e.instBuf = make([]seqFIFO, n)
 	for i := 0; i < n; i++ {
@@ -230,7 +238,14 @@ func New(cfg Config, tr *trace.Trace, pos []noc.Coord, opNet, sortNet *noc.Netwo
 		e.fl[i].waiters = wback[i*seedWaiterCap : i*seedWaiterCap : (i+1)*seedWaiterCap]
 		e.fl[i].fwdWaiters = fback[i*seedFwdCap : i*seedFwdCap : (i+1)*seedFwdCap]
 	}
-	e.computeDeps()
+	if n := cfg.NumSlices; n&(n-1) == 0 {
+		e.ownPow = true
+		e.ownMask = uint64(n - 1)
+		for 1<<e.ownShift < n {
+			e.ownShift++
+		}
+	}
+	e.deps1, e.deps2 = tr.Deps()
 	return e, nil
 }
 
@@ -248,6 +263,9 @@ func (e *Engine) SetBarriers(at []int) { e.barriers = at }
 // AtBarrier reports whether the engine is stopped at its current barrier.
 func (e *Engine) AtBarrier() bool { return e.atBarrier }
 
+// Barriers returns the installed barrier instruction indices.
+func (e *Engine) Barriers() []int { return e.barriers }
+
 // BarrierIndex returns how many barriers the engine has passed or reached.
 func (e *Engine) BarrierIndex() int { return e.barrierIdx }
 
@@ -262,41 +280,26 @@ func (e *Engine) ReleaseBarrier(now int64) {
 	}
 }
 
-// computeDeps precomputes, for every trace instruction, the indices of the
-// instructions producing its register sources (-1 = initial value / r0).
-// This is exactly the true-dependence information rename would discover.
-func (e *Engine) computeDeps() {
-	n := len(e.tr)
-	e.deps1 = make([]int32, n)
-	e.deps2 = make([]int32, n)
-	var last [isa.NumArchRegs]int32
-	for r := range last {
-		last[r] = -1
-	}
-	for i := 0; i < n; i++ {
-		in := &e.tr[i]
-		e.deps1[i], e.deps2[i] = -1, -1
-		if ns := in.Op.NumSrc(); ns >= 1 && in.Src1 != isa.Zero {
-			e.deps1[i] = last[in.Src1]
-		} else if ns >= 1 && in.Src1 == isa.Zero {
-			e.deps1[i] = -1
-		}
-		if in.Op.NumSrc() >= 2 && in.Src2 != isa.Zero {
-			e.deps2[i] = last[in.Src2]
-		}
-		if in.Op.HasDest() && in.Dest != isa.Zero {
-			last[in.Dest] = int32(i) //ssim:nolint cyclemath: New rejects traces longer than MaxInt32
-		}
-	}
-}
-
 // owner Slice of a PC: fetch is interleaved on aligned instruction pairs, so
-// the same PC always maps to the same Slice (§3.1).
-func (e *Engine) pcOwner(pc uint64) int { return int((pc >> 3) % uint64(e.cfg.NumSlices)) }
+// the same PC always maps to the same Slice (§3.1). Owner and index math run
+// per instruction in both detailed and fast-forward execution, so the
+// common power-of-two slice counts use precomputed mask/shift forms instead
+// of hardware division; both forms give identical values.
+func (e *Engine) pcOwner(pc uint64) int {
+	if e.ownPow {
+		return int((pc >> 3) & e.ownMask)
+	}
+	return int((pc >> 3) % uint64(e.cfg.NumSlices))
+}
 
 // owner Slice of a data line: accesses are low-order interleaved by cache
 // line across the VCore's LSQ banks and L1Ds (§3.5, §3.6).
-func (e *Engine) lineOwner(addr uint64) int { return int((addr >> 6) % uint64(e.cfg.NumSlices)) }
+func (e *Engine) lineOwner(addr uint64) int {
+	if e.ownPow {
+		return int((addr >> 6) & e.ownMask)
+	}
+	return int((addr >> 6) % uint64(e.cfg.NumSlices))
+}
 
 // l1dIndex strips the Slice-interleave bits from a data line address before
 // it indexes a Slice-private L1D. Within one Slice all resident lines share
@@ -304,11 +307,17 @@ func (e *Engine) lineOwner(addr uint64) int { return int((addr >> 6) % uint64(e.
 // correlate with the residue and only 1/NumSlices of the sets would ever be
 // used. The mapping is bijective per Slice.
 func (e *Engine) l1dIndex(line uint64) uint64 {
+	if e.ownPow {
+		return (line >> 6 >> e.ownShift) << 6
+	}
 	return (line >> 6) / uint64(e.cfg.NumSlices) << 6
 }
 
 // l1iIndex is the same for the 8-byte instruction-cache lines.
 func (e *Engine) l1iIndex(line uint64) uint64 {
+	if e.ownPow {
+		return (line >> 3 >> e.ownShift) << 3
+	}
 	return (line >> 3) / uint64(e.cfg.NumSlices) << 3
 }
 
@@ -332,6 +341,9 @@ func (e *Engine) Stats() *Stats { return &e.stats }
 
 // Committed returns the number of committed instructions.
 func (e *Engine) Committed() uint64 { return e.commitHead }
+
+// TraceLen returns the thread's dynamic instruction count.
+func (e *Engine) TraceLen() uint64 { return uint64(len(e.tr)) }
 
 // FinalState exposes the committed architectural state for golden-model
 // comparison against the functional interpreter.
@@ -951,9 +963,19 @@ func (e *Engine) startIFill(now int64, k int, line uint64, blockFetch bool) {
 		e.waitLine = line
 		e.waitSlice = k
 	}
-	if alloc, _ := e.imshr[k].Request(line, 0, false); alloc {
+	alloc, merged := e.imshr[k].Request(line, 0, false)
+	if alloc {
 		done := e.uncore.L2Load(now, e.pos[k], line)
 		e.events.push(done, evIFill, uint64(k), 0, line)
+	} else if !merged && blockFetch {
+		// MSHR full and the line not already in flight: the fill cannot
+		// start, and no completion event will ever deliver this line. Do
+		// not hold fetch on it — stall briefly and retry once an MSHR
+		// frees. (With in-flight work a squash would eventually restart
+		// fetch anyway, but after a functional fast-forward the pipeline
+		// is empty and waiting here would deadlock the engine.)
+		e.waitingIFill = false
+		e.fetchBlockedUntil = maxi64(e.fetchBlockedUntil, now+2)
 	}
 	// Next-line prefetch: this Slice's next lines are stride NumSlices*8
 	// away because fetch is pair-interleaved across Slices.

@@ -4,17 +4,23 @@ package vcore
 // 8-byte-aligned word addresses to 64-bit values. The engine reads it on
 // every load hit and writes it on every store commit, so the hot path must
 // not pay a Go map operation per access: words are grouped into 4 KB pages
-// (flat arrays) and the most recently touched page is cached, making the
-// common in-page access a mask-and-index. Absent words read as zero, the
-// same semantics as isa.ArchState.Mem.
+// (flat arrays) and recently touched pages are kept in a small
+// direct-mapped translation cache, making the common access a
+// mask-and-index. A single most-recent-page slot is not enough — pointer-
+// chasing workloads (mcf, omnetpp) alternate between many resident pages
+// and would fall back to the map on nearly every access. Absent words read
+// as zero, the same semantics as isa.ArchState.Mem.
 type memImage struct {
-	pages    map[uint64]*memPage
-	lastKey  uint64
-	lastPage *memPage
+	pages map[uint64]*memPage
+	ck    [memCacheSlots]uint64   // cached page keys, valid where cp != nil
+	cp    [memCacheSlots]*memPage // direct-mapped by key & (memCacheSlots-1)
 }
 
 // memPageWords is the page size in 8-byte words (4 KB pages).
 const memPageWords = 512
+
+// memCacheSlots sizes the direct-mapped page-translation cache (power of 2).
+const memCacheSlots = 64
 
 type memPage [memPageWords]uint64
 
@@ -24,8 +30,9 @@ func newMemImage() *memImage {
 
 func (m *memImage) page(word uint64, create bool) *memPage {
 	key := word >> 12
-	if m.lastPage != nil && m.lastKey == key {
-		return m.lastPage
+	s := key & (memCacheSlots - 1)
+	if p := m.cp[s]; p != nil && m.ck[s] == key {
+		return p
 	}
 	p := m.pages[key]
 	if p == nil {
@@ -35,7 +42,7 @@ func (m *memImage) page(word uint64, create bool) *memPage {
 		p = new(memPage) //ssim:nolint hotalloc: first-touch page fault, amortized over every later access
 		m.pages[key] = p
 	}
-	m.lastKey, m.lastPage = key, p
+	m.ck[s], m.cp[s] = key, p
 	return p
 }
 
