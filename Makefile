@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench lint check
+.PHONY: build vet test race race-parallel bench lint check
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/experiments
 
+# The quantum-execution differential matrix (parallel vs sequential,
+# byte-identical, every workload x machine width) under the race detector:
+# the determinism proof for the in-machine worker pool. Run without -short
+# even in CI — the full matrix is the contract.
+race-parallel:
+	$(GO) test -race ./internal/sim -run 'TestParallel|TestQuantum'
+
 bench:
 	$(GO) test ./internal/sim -run '^$$' -bench BenchmarkMachineRun -benchtime 10x
 
@@ -27,4 +34,4 @@ bench:
 lint:
 	$(GO) run ./cmd/simlint ./...
 
-check: build vet test race lint
+check: build vet test race race-parallel lint

@@ -20,6 +20,7 @@ import (
 	"sharing/internal/experiments"
 	"sharing/internal/plot"
 	"sharing/internal/sim"
+	"sharing/internal/workload"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 		sampleWin  = flag.Int("sample-window", 0, "sampled mode: instructions per detailed measurement window (0 = default)")
 		samplePer  = flag.Int("sample-period", 0, "sampled mode: instructions per sampling period, one window each (0 = default)")
 		sampleSeed = flag.Int64("sample-seed", 1, "sampled mode: seed deriving the window placement")
+		jobs       = flag.Int("jobs", 0, "total simulation parallelism budget: concurrent machines x per-machine workers (0 = NumCPU)")
+		parallel   = flag.String("parallel", "auto", "in-machine parallel execution: auto (on when a selected benchmark is multithreaded and cores allow), on, or off (results identical)")
+		quantum    = flag.Int("quantum", 0, "synchronization quantum in cycles for multi-engine machines (0 = NoC lookahead; larger values are clamped to it)")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -85,6 +89,9 @@ func main() {
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
 	}
+	r.Workers = *jobs
+	r.MachineQuantum = *quantum
+	r.MachineWorkers = machineWorkers(*parallel, names)
 	switch *exp {
 	case "fig12":
 		data, err := experiments.Fig12(r, names)
@@ -152,6 +159,39 @@ func main() {
 	if err := r.Save(); err != nil {
 		fatal(err)
 	}
+}
+
+// machineWorkers resolves the -parallel mode into a per-machine worker
+// count: the widest selected benchmark's thread count (the machine caps
+// its pool at the engine count, so a wider pool would only idle). In auto
+// mode the width is additionally capped at the core count — on a
+// single-core host auto degrades to sequential machines, which commit the
+// same results without pool overhead. The Runner shrinks its sweep pool
+// so that sweep-slots x machine-workers stays within the -jobs budget.
+func machineWorkers(mode string, names []string) int {
+	if mode == "off" {
+		return 1
+	}
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	maxT := 1
+	for _, n := range names {
+		if prof, err := workload.Lookup(n); err == nil && prof.Threads > maxT {
+			maxT = prof.Threads
+		}
+	}
+	switch mode {
+	case "on":
+		return maxT
+	case "auto":
+		if c := runtime.NumCPU(); maxT > c {
+			maxT = c
+		}
+		return maxT
+	}
+	fatal(fmt.Errorf("-parallel must be auto, on or off (got %q)", mode))
+	return 1
 }
 
 func fatal(err error) {

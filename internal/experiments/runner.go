@@ -66,6 +66,11 @@ type key struct {
 	Seed    int64  `json:"seed"`
 	Phase   int    `json:"phase"` // -1 = whole benchmark
 	OpNetW  int    `json:"opnetw"`
+	// Quantum is a non-default synchronization quantum (0 = topology
+	// lookahead). Part of the key because the quantum is part of the
+	// machine's timing semantics; default-quantum runs keep their
+	// historical, suffix-free keys.
+	Quantum int `json:"quantum,omitempty"`
 	// Sample is the sampled-execution configuration (zero value = exact).
 	// It is part of the key, so sampled results are cached separately from
 	// exact ones and from runs with a different sampling geometry.
@@ -74,6 +79,9 @@ type key struct {
 
 func (k key) String() string {
 	s := fmt.Sprintf("%s/s%d/c%d/n%d/seed%d/ph%d/w%d", k.Bench, k.Slices, k.CacheKB, k.N, k.Seed, k.Phase, k.OpNetW)
+	if k.Quantum > 0 {
+		s += fmt.Sprintf("/q%d", k.Quantum)
+	}
 	if k.Sample.Enabled {
 		// Normalized, so "defaults by zero" and explicit defaults share an
 		// entry. Exact measurements keep their historical, suffix-free keys.
@@ -89,8 +97,23 @@ type Runner struct {
 	TraceLen int
 	// Seed seeds workload generation (DefaultSeed if 0).
 	Seed int64
-	// Workers bounds parallel simulations (NumCPU if 0).
+	// Workers bounds the total simulation parallelism (NumCPU if 0). When
+	// MachineWorkers is above 1 the sweep pool shrinks so that
+	// sweep-slots x machine-workers never exceeds this budget: one knob
+	// governs the product, and turning on in-machine parallelism cannot
+	// oversubscribe the host.
 	Workers int
+	// MachineWorkers is the worker-pool width inside each simulated machine
+	// (sim.Params.Workers). 0 or 1 runs every machine sequentially; values
+	// above 1 enable quantum-phased parallel execution for multi-engine
+	// machines. Results are byte-identical either way.
+	MachineWorkers int
+	// MachineQuantum overrides the synchronization quantum for multi-engine
+	// machines (sim.Params.Quantum; 0 = the topology's NoC lookahead).
+	// Unlike the pool width, the quantum is part of the machine's
+	// deterministic timing semantics, so overridden runs are cached under
+	// distinct keys.
+	MachineQuantum int
 	// ResultsPath, when set, persists measurements as JSON across runs.
 	ResultsPath string
 	// TraceCacheDir, when set, persists generated traces to disk in the
@@ -146,10 +169,27 @@ func (r *Runner) seed() int64 {
 }
 
 func (r *Runner) workers() int {
-	if r.Workers <= 0 {
-		return runtime.NumCPU()
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
 	}
-	return r.Workers
+	// Divide the budget between the sweep pool and the per-machine pools:
+	// with machine parallelism on, each in-flight simulation occupies up to
+	// machineWorkers() cores, so the sweep runs fewer of them at once.
+	if mw := r.machineWorkers(); mw > 1 {
+		w /= mw
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (r *Runner) machineWorkers() int {
+	if r.MachineWorkers < 1 {
+		return 1
+	}
+	return r.MachineWorkers
 }
 
 // Load reads the persisted results file, if configured and present.
@@ -333,6 +373,15 @@ func (r *Runner) measure(k key) (Measurement, error) {
 		p.OperandNetWidth = k.OpNetW
 	}
 	p.Sample = k.Sample
+	p.Quantum = k.Quantum
+	// In-machine parallelism never changes the measurement (quantum
+	// execution is byte-identical at any pool width), so it is not part of
+	// the key: sequential and parallel runs share cache entries.
+	if mw := r.machineWorkers(); mw > 1 {
+		p.Workers = mw
+	} else {
+		p.Sequential = true
+	}
 	res, err := sim.Run(p, mt)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("experiments: %s: %w", ks, err)
@@ -364,17 +413,17 @@ func (r *Runner) release() { <-r.sem }
 
 // Measure returns the measurement for one benchmark and configuration.
 func (r *Runner) Measure(bench string, cfg econ.Config) (Measurement, error) {
-	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1, Sample: r.Sample})
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1, Quantum: r.MachineQuantum, Sample: r.Sample})
 }
 
 // MeasurePhase returns the measurement for one phase of a benchmark.
 func (r *Runner) MeasurePhase(bench string, phase int, cfg econ.Config) (Measurement, error) {
-	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase, Sample: r.Sample})
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase, Quantum: r.MachineQuantum, Sample: r.Sample})
 }
 
 // MeasureOpNet measures with an explicit operand-network width (ablation).
 func (r *Runner) MeasureOpNet(bench string, cfg econ.Config, width int) (Measurement, error) {
-	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1, OpNetW: width, Sample: r.Sample})
+	return r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: -1, OpNetW: width, Quantum: r.MachineQuantum, Sample: r.Sample})
 }
 
 // Grid measures a benchmark over the given configuration grid, fanning the
@@ -410,7 +459,7 @@ func (r *Runner) gridPhase(bench string, phase int, slices, caches []int) (econ.
 			defer wg.Done()
 			r.acquire()
 			defer r.release()
-			m, err := r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase, Sample: r.Sample})
+			m, err := r.measure(key{Bench: bench, Slices: cfg.Slices, CacheKB: cfg.CacheKB, N: r.traceLen(), Seed: r.seed(), Phase: phase, Quantum: r.MachineQuantum, Sample: r.Sample})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {

@@ -41,6 +41,19 @@ type Params struct {
 	// on every cycle. It is the naive reference loop: slower, but useful for
 	// differential testing and debugging. Results are cycle-exact either way.
 	StrictTick bool
+	// Sequential forces the quantum-phased loop of multi-engine machines to
+	// run on the calling goroutine instead of the worker pool. Results are
+	// byte-identical either way (the parallel loop executes the same
+	// deterministic computation); single-engine machines always run the
+	// direct sequential loop regardless.
+	Sequential bool
+	// Workers is the worker-pool width for parallel multi-engine execution:
+	// 0 picks min(engines, GOMAXPROCS), 1 is equivalent to Sequential.
+	Workers int
+	// Quantum caps the quantum length in cycles for multi-engine machines.
+	// 0 uses the topology lookahead (the minimum cross-engine round trip
+	// through the NoC/L2 path); larger values are clamped to it.
+	Quantum int
 	// Sample configures sampled execution (functional warming + detailed
 	// measurement windows). Zero value / Enabled=false keeps the exact,
 	// fully detailed mode, which remains the default.
@@ -74,6 +87,12 @@ func (p *Params) Validate() error {
 	}
 	if p.Mem.Latency < 1 {
 		return fmt.Errorf("sim: memory latency must be >= 1")
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("sim: Workers %d must be >= 0", p.Workers)
+	}
+	if p.Quantum < 0 {
+		return fmt.Errorf("sim: Quantum %d must be >= 0", p.Quantum)
 	}
 	if err := p.Sample.validate(); err != nil {
 		return err
@@ -265,6 +284,41 @@ func (u *uncoreFor) StoreVisible(now int64, from noc.Coord, addr uint64) int64 {
 	return int64(2*(1+toBank) + 2*(1+maxHop))
 }
 
+// StoreVisiblePeek implements vcore.StoreVisiblePeeker: the read-only twin
+// of StoreVisible. It computes the same coherence delay from the directory
+// state as currently visible — under quantum execution, the state frozen at
+// the last quantum barrier — without touching the sharer sets, any remote
+// L1, or the invalidation counters. Engines call it concurrently during
+// private phases; everything it reads is only written between quanta.
+//
+//ssim:hotpath
+func (u *uncoreFor) StoreVisiblePeek(now int64, from noc.Coord, addr uint64) int64 {
+	m := u.m
+	if !m.multiVC {
+		return 0
+	}
+	line := addr &^ 63
+	bank := m.home.Home(line)
+	if bank == nil {
+		return 0
+	}
+	others := bank.Sharers(line) &^ (1 << uint(u.vc))
+	if others == 0 {
+		return 0
+	}
+	maxHop := 0
+	for vc2 := range m.engines {
+		if vc2 == u.vc || others&(1<<uint(vc2)) == 0 {
+			continue
+		}
+		if h := noc.Manhattan(bank.Pos, from); h > maxHop {
+			maxHop = h
+		}
+	}
+	toBank := noc.Manhattan(from, bank.Pos)
+	return int64(2*(1+toBank) + 2*(1+maxHop))
+}
+
 // WritebackDirty implements vcore.Uncore.
 //
 //ssim:hotpath
@@ -359,14 +413,34 @@ func (u *uncoreFor) WarmWriteback(addr uint64) {
 
 // Machine is one fully wired simulation instance: a VM placed on the
 // fabric, one VCore engine per thread, shared networks, banks and memory.
+//
+// Multi-engine machines run the quantum-phased loop (parallel.go): engines
+// advance privately through quanta of mc.quantum cycles and the shared
+// fabric traffic is merged at the quantum barriers. The operand and sort
+// networks are strictly VCore-internal (every message stays between one
+// engine's Slices), so each engine gets its own instance — their statistics
+// sum to the shared-network values and the private phases stay race-free.
 type Machine struct {
-	p    Params
-	m    *machine
-	nets [3]*noc.Network
+	p        Params
+	m        *machine
+	opNets   []*noc.Network
+	sortNets []*noc.Network
+	memNet   *noc.Network
+	uncores  []*uncoreFor
+	quantum  int64
+
+	// Quantum-merge scratch (reused across barriers, see mergeFabric).
+	opLists [][]vcore.FabricOp
+	opPos   []int
 }
 
 // Engines exposes the per-thread VCore engines (for golden-model checks).
 func (mc *Machine) Engines() []*vcore.Engine { return mc.m.engines }
+
+// Quantum returns the quantum length (in cycles) the machine uses for
+// multi-engine quantum-phased execution: the topology lookahead, capped by
+// Params.Quantum. Single-engine machines do not use it.
+func (mc *Machine) Quantum() int64 { return mc.quantum }
 
 // NewMachine builds a simulation instance for mt under p. One VCore is built
 // per thread; all VCores share the VM's L2 banks (with directory coherence
@@ -390,14 +464,10 @@ func NewMachine(p Params, mt *trace.MultiTrace) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	opNet := noc.New("operand", w, h, p.OperandNetWidth)
-	sortNet := noc.New("lssort", w, h, p.SortNetWidth)
 	memNet := noc.New("memory", w, h, p.MemNetWidth)
 	// The engines consume Send's returned delivery cycle directly and never
 	// call Deliver, so buffering every message would only grow heaps that no
 	// one drains. Fire-and-forget keeps timing and stats identical.
-	opNet.SetFireAndForget(true)
-	sortNet.SetFireAndForget(true)
 	memNet.SetFireAndForget(true)
 	m := &machine{
 		home:     cache.NewHomeMap(vm.Banks),
@@ -419,8 +489,17 @@ func NewMachine(p Params, mt *trace.MultiTrace) (*Machine, error) {
 	for _, b := range vm.Banks {
 		m.bankPort[b.ID] = noc.NewMeter(p.BankPortWidth)
 	}
+	mc := &Machine{p: p, m: m, memNet: memNet}
 	for ti, th := range mt.Threads {
-		eng, err := vcore.New(p.VCore, th, vm.VCores[ti].Slices, opNet, sortNet, &uncoreFor{m: m, vc: ti})
+		// The operand and sort networks carry only intra-VCore traffic, so
+		// each engine owns a private instance (identical timing and summed
+		// statistics; see the Machine doc comment).
+		opNet := noc.New("operand", w, h, p.OperandNetWidth)
+		sortNet := noc.New("lssort", w, h, p.SortNetWidth)
+		opNet.SetFireAndForget(true)
+		sortNet.SetFireAndForget(true)
+		u := &uncoreFor{m: m, vc: ti}
+		eng, err := vcore.New(p.VCore, th, vm.VCores[ti].Slices, opNet, sortNet, u)
 		if err != nil {
 			return nil, err
 		}
@@ -432,25 +511,87 @@ func NewMachine(p Params, mt *trace.MultiTrace) (*Machine, error) {
 			eng.SetBarriers(at)
 		}
 		m.engines = append(m.engines, eng)
+		mc.opNets = append(mc.opNets, opNet)
+		mc.sortNets = append(mc.sortNets, sortNet)
+		mc.uncores = append(mc.uncores, u)
 	}
-	return &Machine{p: p, m: m, nets: [3]*noc.Network{opNet, sortNet, memNet}}, nil
+	if len(m.engines) > 1 {
+		mc.quantum = quantumFor(p, vm)
+		for _, e := range m.engines {
+			if err := e.SetFabricBuffering(true); err != nil {
+				return nil, err
+			}
+		}
+		mc.opLists = make([][]vcore.FabricOp, len(m.engines))
+		mc.opPos = make([]int, len(m.engines))
+	}
+	return mc, nil
+}
+
+// quantumFor derives the machine's quantum length from its topology: the
+// NoC lookahead, i.e. the minimum cycles between any engine issuing a
+// fabric request and the earliest cycle the response can land back at a
+// Slice. An L2 hit at Manhattan distance d returns no earlier than
+// request+2d+4 (one cycle each way of link injection plus d hops, plus the
+// two-cycle bank access); with no L2 allocated, a request goes straight to
+// memory and returns no earlier than request+4+Mem.Latency. Quanta no
+// longer than the lookahead mean every buffered response lands at or after
+// the next quantum barrier, so deferring the shared-fabric traffic to the
+// barrier preserves the request/response timing of the inline path (up to
+// the barrier-granular directory visibility documented in DESIGN.md).
+func quantumFor(p Params, vm *hypervisor.VMAlloc) int64 {
+	la := int64(4) + int64(p.Mem.Latency)
+	if len(vm.Banks) > 0 {
+		la = 1 << 30
+		for _, vc := range vm.VCores {
+			for _, s := range vc.Slices {
+				for _, b := range vm.Banks {
+					if rt := int64(2*noc.Manhattan(s, b.Pos) + 4); rt < la {
+						la = rt
+					}
+				}
+			}
+		}
+	}
+	if p.Quantum > 0 && int64(p.Quantum) < la {
+		la = int64(p.Quantum)
+	}
+	if la < 1 {
+		la = 1
+	}
+	return la
 }
 
 // Run executes the machine to completion.
 //
-// The main loop is event-driven: every engine is stepped each simulated
-// cycle, but when a cycle leaves all engines architecturally idle (no event
-// popped, nothing fetched/dispatched/issued/committed), time jumps straight
-// to the minimum of the engines' NextWake lower bounds instead of ticking
-// through the quiet span. Idle-span stall statistics are charged via
-// AccountIdle, so results — cycles, instructions, every counter — are
-// bit-identical to the strict per-cycle loop (Params.StrictTick).
+// Single-engine machines use the direct event-driven loop (runUntil):
+// every cycle with work steps the engine, and idle spans are skipped to
+// NextWake with their stall statistics charged via AccountIdle, so results
+// are bit-identical to the strict per-cycle loop (Params.StrictTick).
+// Multi-engine machines use the quantum-phased loop (runQuanta), on the
+// worker pool unless Params.Sequential — byte-identical either way.
 func (mc *Machine) Run() (*Result, error) {
 	var t int64
-	if err := mc.runUntil(&t, nil); err != nil {
+	if err := mc.runLoop(&t, nil); err != nil {
 		return nil, err
 	}
 	return mc.result(t + 1), nil
+}
+
+// runLoop dispatches to the machine's main loop: the quantum-phased loop
+// for multi-engine machines, the direct loop otherwise.
+func (mc *Machine) runLoop(t *int64, stop *windowStop) error {
+	if len(mc.m.engines) > 1 {
+		return mc.runQuanta(t, stop)
+	}
+	return mc.runUntil(t, stop)
+}
+
+// addNet accumulates per-engine network statistics into a whole-VM view.
+func addNet(dst *noc.Stats, s noc.Stats) {
+	dst.Messages += s.Messages
+	dst.TotalHops += s.TotalHops
+	dst.StallCycles += s.StallCycles
 }
 
 // runUntil drives the event-driven main loop from *t until every engine is
@@ -533,7 +674,11 @@ func (mc *Machine) runUntil(t *int64, stop *windowStop) error {
 // total cycle count.
 func (mc *Machine) result(cycles int64) *Result {
 	m := mc.m
-	res := &Result{Cycles: cycles, OpNet: mc.nets[0].Stats(), SortNet: mc.nets[1].Stats(), MemNet: mc.nets[2].Stats()}
+	res := &Result{Cycles: cycles, MemNet: mc.memNet.Stats()}
+	for i := range m.engines {
+		addNet(&res.OpNet, mc.opNets[i].Stats())
+		addNet(&res.SortNet, mc.sortNets[i].Stats())
+	}
 	for _, e := range m.engines {
 		res.Instructions += e.Committed()
 		res.VCores = append(res.VCores, *e.Stats())

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sharing/internal/trace"
+	"sharing/internal/workload"
+)
+
+// genThreads generates bench's profile with its thread count overridden to
+// engines: the differential matrix needs every workload shape at every
+// machine width. Forced multithreading keeps per-thread address spaces
+// disjoint except for the profile's configured sharing (SPEC profiles
+// become multiprogrammed copies; the PARSEC profiles keep their true- and
+// false-sharing traffic at any width).
+func genThreads(t *testing.T, bench string, engines, n int, seed int64) *trace.MultiTrace {
+	t.Helper()
+	prof, err := workload.Lookup(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := *prof
+	p.Threads = engines
+	mt, err := p.Generate(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mt
+}
+
+// TestParallelMatchesSequential is the determinism proof for quantum-phased
+// parallel execution: every workload profile at every machine width is run
+// twice — once sequentially (Params.Sequential, the quantum loop inline)
+// and once on a 4-wide worker pool — and the complete Result must be
+// byte-identical. Combined with TestEventDrivenMatchesStrictTick (which
+// covers the quantum loop's strict/event-driven equivalence) this pins the
+// whole mode matrix to one deterministic semantics.
+func TestParallelMatchesSequential(t *testing.T) {
+	engineCounts := []int{1, 2, 4, 8}
+	n := 4000
+	if testing.Short() {
+		engineCounts = []int{2, 4}
+		n = 2000
+	}
+	for _, bench := range workload.Names() {
+		for _, ne := range engineCounts {
+			bench, ne := bench, ne
+			t.Run(bench+"/"+string(rune('0'+ne)), func(t *testing.T) {
+				t.Parallel()
+				mt := genThreads(t, bench, ne, n, int64(31*ne)+7)
+				p := DefaultParams(2, 64*ne)
+				p.Sequential = true
+				seq, err := Run(p, mt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Sequential = false
+				p.Workers = 4
+				par, err := Run(p, mt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Fatalf("parallel diverges from sequential:\nsequential: %+v\nparallel:   %+v", seq, par)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelGoldenBothModes is the golden guard for quantum execution:
+// a coherence-heavy multithreaded run must commit the architecturally
+// correct state (vs the reference interpreter) in sequential quantum mode
+// and in parallel mode, and both must agree on every counter.
+func TestParallelGoldenBothModes(t *testing.T) {
+	prof, err := workload.Lookup("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := prof.Generate(10000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(2, 256)
+	p.Sequential = true
+	seq := runGolden(t, p, mt)
+	p.Sequential = false
+	p.Workers = 4
+	par := runGolden(t, p, mt)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("golden results diverge:\nsequential: %+v\nparallel:   %+v", seq, par)
+	}
+	if seq.Invalidations == 0 {
+		t.Fatal("dedup run produced no invalidations; coherence path not exercised")
+	}
+	t.Logf("dedup 4 threads: cycles=%d ipc=%.3f invalidations=%d", seq.Cycles, seq.IPC(), seq.Invalidations)
+}
+
+// TestQuantumClamp checks that a user quantum longer than the topology
+// lookahead is clamped to it, and that a shorter one is honored. The
+// quantum length is part of the machine's deterministic timing semantics
+// (store visibility is charged from quantum-start directory state), so a
+// given Q always reproduces exactly, and the experiments results cache
+// keys non-default quanta separately.
+func TestQuantumClamp(t *testing.T) {
+	mt := genThreads(t, "ferret", 2, 3000, 5)
+	p := DefaultParams(2, 128)
+	mc, err := NewMachine(p, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := mc.Quantum()
+	if la < 1 {
+		t.Fatalf("lookahead quantum %d < 1", la)
+	}
+	p.Quantum = int(la) + 100
+	mc2, err := NewMachine(p, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc2.Quantum() != la {
+		t.Fatalf("quantum not clamped to lookahead: got %d want %d", mc2.Quantum(), la)
+	}
+	p.Quantum = 1
+	mc3, err := NewMachine(p, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc3.Quantum() != 1 {
+		t.Fatalf("explicit quantum not honored: got %d want 1", mc3.Quantum())
+	}
+}

@@ -171,7 +171,8 @@ type winRec struct {
 	perVar      float64 // between-thread variance of the window spans
 }
 
-// windowStop is the per-window stop predicate for runUntil. For each engine
+// windowStop is the per-window stop predicate for the detailed main loops
+// (runUntil and runQuanta). For each engine
 // it records the cycles at which the commit head crossed the window start
 // and end (tS/tE: the engine's span over its measured interval); t0 is the
 // first cycle at which every engine had crossed its start, with c0
@@ -186,6 +187,57 @@ type windowStop struct {
 	tE      []int64  // cycle the commit head crossed winE, -1 until then
 	t0      int64    // cycle every commit head had crossed winS, -1 until then
 	c0      []uint64 // per-engine committed-instruction count at t0
+}
+
+// checkEngine records engine i's window crossings at cycle now: the
+// per-engine half of check, used by the quantum-phased loop, where each
+// engine observes its own commits during its private phase (the crossing
+// cycles tS/tE are exact; only the whole-window stop decision and t0/c0
+// snapshot wait for the quantum barrier). The index-i slots are written by
+// at most one goroutine per quantum, so concurrent private phases never
+// contend.
+//
+//ssim:hotpath
+func (w *windowStop) checkEngine(i int, now int64) {
+	c := w.engines[i].Committed()
+	if w.tS[i] < 0 && c >= w.winS[i] {
+		w.tS[i] = now
+	}
+	if w.tE[i] < 0 && c >= w.winE[i] {
+		w.tE[i] = now
+	}
+}
+
+// quantumBarrier is the quantum-barrier half of check: it reports whether
+// every engine has crossed its window end, and on the first barrier at
+// which every engine has crossed its window start it fixes t0 (the exact
+// cycle the last engine crossed, from the recorded tS) and snapshots c0.
+// The c0 snapshot is taken at the barrier rather than at t0 itself — up to
+// one quantum of extra commits — which only shifts the detailed-warmup
+// overrun accounting, deterministically.
+func (w *windowStop) quantumBarrier() bool {
+	all, started := true, true
+	for i := range w.engines {
+		if w.tS[i] < 0 {
+			started = false
+		}
+		if w.tE[i] < 0 {
+			all = false
+		}
+	}
+	if started && w.t0 < 0 {
+		t0 := int64(0)
+		for _, v := range w.tS {
+			if v > t0 {
+				t0 = v
+			}
+		}
+		w.t0 = t0
+		for i, e := range w.engines {
+			w.c0[i] = e.Committed()
+		}
+	}
+	return all
 }
 
 //ssim:hotpath
@@ -234,7 +286,9 @@ func (w *windowStop) check(now int64) bool {
 // threads at every warming stretch would otherwise erase.
 //
 // The orchestration here is cold (once per period); the hot loops are
-// vcore.FastForward, Machine.runUntil, and windowStop.check.
+// vcore.FastForward, the detailed main loop (Machine.runUntil for
+// single-engine machines, Machine.runQuanta for multi-engine ones), and
+// the windowStop crossing checks.
 func (mc *Machine) RunSampled() (*Result, error) {
 	sp := mc.p.Sample.withDefaults()
 	if err := sp.validate(); err != nil {
@@ -301,8 +355,10 @@ func (mc *Machine) RunSampled() (*Result, error) {
 			cFF += e.Committed()
 		}
 		// Detailed execution: warmup prefix ramps the pipeline, then the
-		// measurement interval [Start, End) per engine.
-		if err := mc.runUntil(&t, ws); err != nil {
+		// measurement interval [Start, End) per engine. Multi-engine
+		// machines run the window under the quantum-phased loop, parallel
+		// when the machine is.
+		if err := mc.runLoop(&t, ws); err != nil {
 			return nil, err
 		}
 		ws.check(t) // capture crossings on the final executed cycle

@@ -178,6 +178,16 @@ type Engine struct {
 	barrierIdx int
 	atBarrier  bool
 
+	// Quantum-execution fabric buffering (see fabric.go): when fabricBuf
+	// is set, outbound uncore requests are appended to outbox instead of
+	// called inline, and peekU answers StoreVisible latency queries from
+	// the frozen directory. tickNow is the cycle of the Tick in progress,
+	// the deterministic merge key for buffered requests.
+	fabricBuf bool
+	peekU     StoreVisiblePeeker
+	outbox    []FabricOp
+	tickNow   int64
+
 	err error
 }
 
@@ -368,6 +378,7 @@ func (e *Engine) Tick(now int64) {
 	if e.Done() || e.err != nil {
 		return
 	}
+	e.tickNow = now
 	e.stats.Cycles = now + 1
 	e.processEvents(now)
 	e.commit(now)
@@ -965,8 +976,7 @@ func (e *Engine) startIFill(now int64, k int, line uint64, blockFetch bool) {
 	}
 	alloc, merged := e.imshr[k].Request(line, 0, false)
 	if alloc {
-		done := e.uncore.L2Load(now, e.pos[k], line)
-		e.events.push(done, evIFill, uint64(k), 0, line)
+		e.requestLine(now, k, line, true)
 	} else if !merged && blockFetch {
 		// MSHR full and the line not already in flight: the fill cannot
 		// start, and no completion event will ever deliver this line. Do
@@ -986,8 +996,7 @@ func (e *Engine) startIFill(now int64, k int, line uint64, blockFetch bool) {
 			continue
 		}
 		if alloc, _ := e.imshr[k].Request(pl, 0, false); alloc {
-			done := e.uncore.L2Load(now, e.pos[k], pl)
-			e.events.push(done, evIFill, uint64(k), 0, pl)
+			e.requestLine(now, k, pl, true)
 		}
 	}
 }

@@ -53,7 +53,27 @@ func (q *eventQueue) less(i, j int) bool {
 
 func (q *eventQueue) push(at int64, kind evKind, seq uint64, gen uint32, a uint64) {
 	q.ord++
-	q.h = append(q.h, event{at: at, ord: q.ord, kind: kind, seq: seq, gen: gen, a: a})
+	q.pushOrd(at, kind, seq, gen, a, q.ord)
+}
+
+// reserveOrd allocates and returns the next ordinal without inserting an
+// event. Quantum execution buffers fabric requests and inserts their
+// response events later (at the quantum barrier) via pushOrd; reserving the
+// ordinal at the request point keeps the queue's tie-break order identical
+// to the unbuffered path, where the response is pushed inline.
+//
+//ssim:hotpath
+func (q *eventQueue) reserveOrd() uint64 {
+	q.ord++
+	return q.ord
+}
+
+// pushOrd inserts an event with an explicitly assigned ordinal (previously
+// obtained from reserveOrd). It does not advance the ordinal counter.
+//
+//ssim:hotpath
+func (q *eventQueue) pushOrd(at int64, kind evKind, seq uint64, gen uint32, a uint64, ord uint64) {
+	q.h = append(q.h, event{at: at, ord: ord, kind: kind, seq: seq, gen: gen, a: a})
 	i := len(q.h) - 1
 	for i > 0 {
 		p := (i - 1) / 2

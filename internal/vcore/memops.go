@@ -193,8 +193,7 @@ func (e *Engine) tryLoad(now int64, seq uint64) {
 	switch {
 	case alloc:
 		e.stats.L2Loads++
-		done := e.uncore.L2Load(ta, e.pos[o], line)
-		e.events.push(done, evLoadFill, uint64(o), 0, line)
+		e.requestLine(ta, o, line, false)
 	case merged:
 		// Joined an outstanding fill; completion retries us.
 	default:
@@ -229,7 +228,7 @@ func (e *Engine) onLoadFill(ev event) {
 	if victim, dirty, evicted := e.l1d[o].Fill(e.l1dIndex(line), false); evicted && dirty {
 		// Reconstruct the real line address from the per-Slice index space.
 		real := ((victim>>6)*uint64(e.cfg.NumSlices) + uint64(o)) << 6
-		e.uncore.WritebackDirty(ev.at, e.pos[o], real)
+		e.writebackDirty(ev.at, o, real)
 	}
 	for _, w := range e.mshr[o].Complete(line) {
 		f := e.flight(w)
@@ -327,7 +326,7 @@ func (e *Engine) onDrain(ev event) {
 		e.stats.L1DHits++
 		// Coherence: other VCores of the VM may share the line; the write
 		// must invalidate them via the home bank's directory.
-		extra := e.uncore.StoreVisible(ev.at, e.pos[o], line)
+		extra := e.storeVisible(ev.at, o, line)
 		e.sbuf[o].Pop()
 		e.events.push(ev.at+1+extra, evDrain, uint64(o), 0, 0)
 		return
@@ -338,8 +337,7 @@ func (e *Engine) onDrain(ev event) {
 	switch {
 	case alloc:
 		e.stats.L2Loads++
-		done := e.uncore.L2Load(ev.at, e.pos[o], line)
-		e.events.push(done, evLoadFill, uint64(o), 0, line)
+		e.requestLine(ev.at, o, line, false)
 		e.drainBusy[o] = false // onLoadFill restarts the drain
 	case merged:
 		e.drainBusy[o] = false
