@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel bench lint check
+.PHONY: build vet test race race-parallel bench lint market-smoke check
 
 build:
 	$(GO) build ./...
@@ -34,4 +34,12 @@ bench:
 lint:
 	$(GO) run ./cmd/simlint ./...
 
-check: build vet test race race-parallel lint
+# Incremental-vs-grid differential on a 3-profile cross-section under the
+# race detector: the exactness contract of the online market engine (see
+# DESIGN.md, "Incremental optimum search") plus the churn byte-identity
+# tests of internal/market.
+market-smoke:
+	$(GO) test -race -short -run 'TestIncrementalBidMatchesGrid|TestTable6IncrementalMatchesBatch|TestChurnScenarioRuns' ./internal/experiments
+	$(GO) test -race ./internal/market
+
+check: build vet test race race-parallel lint market-smoke

@@ -4,10 +4,17 @@
 // static fixed architecture), Fig. 16 (gain vs a heterogeneous machine), and
 // Fig. 17 (datacenter big/small-core mixes).
 //
+// With -incremental, table4 and table6 are priced through the online
+// incremental market engine (internal/market) in O(probes) per bid instead
+// of O(grid); -churn runs an arrival/departure/phase-change scenario through
+// the same engine and reports the marginal cost of every event.
+//
 // Usage:
 //
 //	market -exp table4 -results results/perf.json
 //	market -exp fig15  -results results/perf.json
+//	market -exp table6 -incremental -probe-budget 60
+//	market -churn -bench gcc,mcf,sjeng
 package main
 
 import (
@@ -18,17 +25,21 @@ import (
 
 	"sharing/internal/econ"
 	"sharing/internal/experiments"
+	"sharing/internal/market"
 	"sharing/internal/plot"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table4", "table4|table5|table6|fig14|fig15|fig16|fig17")
-		benches = flag.String("bench", "", "comma-separated benchmarks (default: all)")
-		n       = flag.Int("n", experiments.DefaultTraceLen, "instructions per thread")
-		seed    = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
-		results = flag.String("results", "", "JSON results cache (reused across runs)")
-		quiet   = flag.Bool("q", false, "suppress per-run progress")
+		exp         = flag.String("exp", "table4", "table4|table5|table6|fig14|fig15|fig16|fig17")
+		benches     = flag.String("bench", "", "comma-separated benchmarks (default: all)")
+		n           = flag.Int("n", experiments.DefaultTraceLen, "instructions per thread")
+		seed        = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+		results     = flag.String("results", "", "JSON results cache (reused across runs)")
+		quiet       = flag.Bool("q", false, "suppress per-run progress")
+		incremental = flag.Bool("incremental", false, "price table4/table6 bids via the incremental engine (O(probes) per bid)")
+		churn       = flag.Bool("churn", false, "run the churn scenario through the incremental engine and report per-event costs")
+		probeBudget = flag.Int("probe-budget", 0, "probes per search before the exhaustive fallback (0 = default)")
 	)
 	flag.Parse()
 
@@ -45,6 +56,34 @@ func main() {
 		names = strings.Split(*benches, ",")
 	}
 
+	if *churn {
+		rep, err := experiments.ChurnScenario(r, names, econ.Supply{Slices: 64, Banks: 128}, *probeBudget)
+		if err != nil {
+			fatal(err)
+		}
+		var out [][]string
+		for _, ev := range rep.Events {
+			target := ev.Bench
+			if ev.Action == "phase" {
+				target = fmt.Sprintf("%s/ph%d", ev.Bench, ev.Phase)
+			}
+			out = append(out, []string{
+				ev.Action, ev.Customer, target,
+				fmt.Sprintf("%d", ev.Probes), fmt.Sprintf("%d", ev.SimRuns),
+				fmt.Sprintf("%d", ev.Iterations), fmt.Sprintf("%.3f", ev.TotalUtility),
+			})
+		}
+		fmt.Print(experiments.RenderSeries(
+			"Churn scenario - marginal cost per market event (incremental engine)",
+			[]string{"event", "customer", "target", "probes", "simruns", "iters", "totalU"}, out))
+		fmt.Printf("total: %d simulator runs vs %d for per-event grid recomputation (%d surfaces x %d points); %d re-auctions\n",
+			rep.SimRuns, rep.GridSimRuns, rep.Stats.Surfaces, rep.GridSimRuns/maxInt(rep.Stats.Surfaces, 1), rep.Stats.Reauctions)
+		if err := r.Save(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	switch *exp {
 	case "table5":
 		fmt.Println("Table 5 - customer utility functions (B = budget, P = single-thread perf,")
@@ -54,7 +93,17 @@ func main() {
 		fmt.Println("  Utility3 (OLDI):             U = v * P^3    (single-stream)")
 		return
 	case "table4":
-		rows, _, err := experiments.Table4(r, names)
+		var rows []experiments.OptimaRow
+		var err error
+		if *incremental {
+			var st market.Stats
+			rows, st, err = experiments.Table4Incremental(r, names, *probeBudget)
+			if err == nil {
+				defer printEconomy(st, r)
+			}
+		} else {
+			rows, _, err = experiments.Table4(r, names)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -66,11 +115,22 @@ func main() {
 			"Table 4 - optimal (L2 KB, Slices) per performance-area metric",
 			[]string{"benchmark", "perf/area", "perf^2/area", "perf^3/area"}, out))
 	case "table6":
-		_, suite, err := experiments.Table4(r, names)
-		if err != nil {
-			fatal(err)
+		var rows []experiments.MarketOptimaRow
+		if *incremental {
+			var st market.Stats
+			var err error
+			rows, st, err = experiments.Table6Incremental(r, names, *probeBudget)
+			if err != nil {
+				fatal(err)
+			}
+			defer printEconomy(st, r)
+		} else {
+			_, suite, err := experiments.Table4(r, names)
+			if err != nil {
+				fatal(err)
+			}
+			rows = experiments.Table6(suite)
 		}
-		rows := experiments.Table6(suite)
 		header := []string{"benchmark"}
 		for _, m := range econ.Markets() {
 			for k := 1; k <= 3; k++ {
@@ -189,6 +249,20 @@ func main() {
 	if err := r.Save(); err != nil {
 		fatal(err)
 	}
+}
+
+// printEconomy reports the incremental engine's probe economy against the
+// batch baseline of one full grid sweep per surface.
+func printEconomy(st market.Stats, r *experiments.Runner) {
+	fmt.Printf("incremental: %d searches, %d probes (%d simulator runs) vs %d grid measurements for %d surfaces; %d fallbacks\n",
+		st.Searches, st.Probes, r.SimRuns(), st.GridProbes, st.Surfaces, st.Fallbacks)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func fatal(err error) {

@@ -33,6 +33,30 @@ func (c *Customer) demand(m Market) (cfg Config, vcores float64) {
 	return cfg, c.Utility.Budget / cost
 }
 
+// Bidder abstracts one market participant's best response to a price
+// vector. Customer (full measurement grid) and the incremental market
+// engine's probe-driven searcher (internal/market) both implement it; the
+// tatonnement below is written against this interface so the batch and
+// online paths share one clearing algorithm and, given identical responses,
+// produce byte-identical ClearingResults.
+type Bidder interface {
+	// BidderName labels the participant in ClearingResult.Allocations.
+	BidderName() string
+	// Respond returns the participant's utility-maximizing configuration at
+	// prices m, the fractional VCores its budget affords there, and the
+	// utility realized. Responses must be deterministic in m.
+	Respond(m Market) (cfg Config, vcores, utility float64, err error)
+}
+
+// BidderName implements Bidder.
+func (c *Customer) BidderName() string { return c.Name }
+
+// Respond implements Bidder by exhaustive sweep of the measurement grid.
+func (c *Customer) Respond(m Market) (Config, float64, float64, error) {
+	cfg, v := c.demand(m)
+	return cfg, v, c.Utility.Value(m, c.Grid[cfg], cfg), nil
+}
+
 // Supply is the chip's rentable resources.
 type Supply struct {
 	Slices int
@@ -72,7 +96,20 @@ type Allocation struct {
 // declared in fractional VCores, which is the paper's time-multiplexed
 // leasing: renting 2.5 VCores means 2 full-time and one half-time.
 func ClearMarket(customers []Customer, supply Supply, tol float64, maxIter int) (*ClearingResult, error) {
-	if len(customers) == 0 {
+	bidders := make([]Bidder, len(customers))
+	for i := range customers {
+		bidders[i] = &customers[i]
+	}
+	return ClearMarketWith(bidders, supply, tol, maxIter)
+}
+
+// ClearMarketWith is ClearMarket over abstract Bidders. The price
+// trajectory depends only on the sequence of responses, so a probe-driven
+// bidder whose responses match a grid bidder's yields a byte-identical
+// ClearingResult — the property the incremental market engine's churn tests
+// assert.
+func ClearMarketWith(bidders []Bidder, supply Supply, tol float64, maxIter int) (*ClearingResult, error) {
+	if len(bidders) == 0 {
 		return nil, fmt.Errorf("econ: no customers")
 	}
 	if supply.Slices <= 0 || supply.Banks < 0 {
@@ -92,8 +129,11 @@ func ClearMarket(customers []Customer, supply Supply, tol float64, maxIter int) 
 	bestIt := 0
 	for it := 1; it <= maxIter; it++ {
 		sliceD, bankD = 0, 0
-		for i := range customers {
-			cfg, v := customers[i].demand(m)
+		for i := range bidders {
+			cfg, v, _, err := bidders[i].Respond(m)
+			if err != nil {
+				return nil, err
+			}
 			sliceD += v * float64(cfg.Slices)
 			bankD += v * float64(cfg.Banks())
 		}
@@ -105,7 +145,7 @@ func ClearMarket(customers []Customer, supply Supply, tol float64, maxIter int) 
 			exB = 1 // zero supply: keep raising the price until demand dies
 		}
 		if exS <= tol && exB <= tol {
-			return clearingAt(customers, m, it, sliceD, bankD), nil
+			return clearingAt(bidders, m, it, sliceD, bankD)
 		}
 		// Discrete demand can limit-cycle around the clearing point;
 		// remember the least-oversold prices seen so far.
@@ -133,7 +173,10 @@ func ClearMarket(customers []Customer, supply Supply, tol float64, maxIter int) 
 	// No exact clearing point within maxIter (discrete configurations can
 	// make one impossible): return the least-oversold prices observed; the
 	// caller can inspect demand vs supply.
-	res := clearingAt(customers, best, bestIt, 0, 0)
+	res, err := clearingAt(bidders, best, bestIt, 0, 0)
+	if err != nil {
+		return nil, err
+	}
 	for _, a := range res.Allocations {
 		res.SliceDemand += a.VCores * float64(a.Config.Slices)
 		res.BankDemand += a.VCores * float64(a.Config.Banks())
@@ -156,15 +199,17 @@ func clampPrice(p float64) float64 {
 	return p
 }
 
-func clearingAt(customers []Customer, m Market, it int, sliceD, bankD float64) *ClearingResult {
+func clearingAt(bidders []Bidder, m Market, it int, sliceD, bankD float64) (*ClearingResult, error) {
 	res := &ClearingResult{Prices: m, Iterations: it, SliceDemand: sliceD, BankDemand: bankD}
-	for i := range customers {
-		cfg, v := customers[i].demand(m)
-		u := customers[i].Utility.Value(m, customers[i].Grid[cfg], cfg)
+	for i := range bidders {
+		cfg, v, u, err := bidders[i].Respond(m)
+		if err != nil {
+			return nil, err
+		}
 		res.Allocations = append(res.Allocations, Allocation{
-			Customer: customers[i].Name, Config: cfg, VCores: v, Utility: u,
+			Customer: bidders[i].BidderName(), Config: cfg, VCores: v, Utility: u,
 		})
 		res.TotalUtility += u
 	}
-	return res
+	return res, nil
 }

@@ -33,19 +33,26 @@ func (c Config) Valid() bool {
 // instructions per cycle); only ratios matter downstream.
 type Grid map[Config]float64
 
-// Configs returns the grid's configurations in deterministic order.
+// Configs returns the grid's configurations in deterministic order. It
+// allocates and sorts per call, so it belongs in presentation and setup code
+// only; the optimum searches below iterate the map directly under an explicit
+// total order instead.
 func (g Grid) Configs() []Config {
 	out := make([]Config, 0, len(g))
 	for c := range g {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Slices != out[j].Slices {
-			return out[i].Slices < out[j].Slices
-		}
-		return out[i].CacheKB < out[j].CacheKB
-	})
+	sort.Slice(out, func(i, j int) bool { return configLess(out[i], out[j]) })
 	return out
+}
+
+// configLess is the canonical (Slices, CacheKB) ordering used for display
+// and for deterministic candidate enumeration.
+func configLess(a, b Config) bool {
+	if a.Slices != b.Slices {
+		return a.Slices < b.Slices
+	}
+	return a.CacheKB < b.CacheKB
 }
 
 // Market prices the two sub-core resources. Costs are in abstract dollars;
@@ -109,16 +116,54 @@ func (u Utility) Value(m Market, perf float64, cfg Config) float64 {
 	return v * math.Pow(perf, float64(u.K))
 }
 
-// Best returns the utility-maximizing configuration on the grid.
+// PreferOnTie is the explicit tie-breaking rule for equal-score optima: the
+// cheaper configuration wins (a customer never pays more for the same
+// utility), then the one with fewer Slices, then less cache. The rule makes
+// every optimum search a reduction under a total order — deterministic
+// regardless of candidate enumeration order — which churn re-auctions rely
+// on: an equal-utility plateau must resolve to the same configuration on
+// every re-pricing, or allocations would flap with zero utility change.
+//
+//ssim:hotpath
+func PreferOnTie(m Market, a, b Config) bool {
+	ca, cb := m.Cost(a), m.Cost(b)
+	if ca != cb {
+		return ca < cb
+	}
+	if a.Slices != b.Slices {
+		return a.Slices < b.Slices
+	}
+	return a.CacheKB < b.CacheKB
+}
+
+// Better reports whether configuration a at score va beats configuration b
+// at score vb under the explicit tie-breaking rule.
+//
+//ssim:hotpath
+func Better(m Market, va float64, a Config, vb float64, b Config) bool {
+	if va != vb {
+		return va > vb
+	}
+	return PreferOnTie(m, a, b)
+}
+
+// Best returns the utility-maximizing configuration on the grid, resolving
+// ties with PreferOnTie. The reduction iterates the map directly: the total
+// order makes the outcome independent of iteration order, and skipping the
+// per-call Configs() sort keeps Best allocation-free (it runs once per
+// customer per tatonnement round under churn — see BenchmarkUtilityBest).
 func (u Utility) Best(m Market, g Grid) (Config, float64) {
 	var best Config
 	bestU := math.Inf(-1)
-	for _, c := range g.Configs() {
+	ok := false
+	for c, p := range g {
 		if !c.Valid() {
 			continue
 		}
-		if v := u.Value(m, g[c], c); v > bestU {
-			best, bestU = c, v
+		v := u.Value(m, p, c)
+		if !ok || Better(m, v, c, bestU, best) {
+			//ssim:nolint maprange: reduction under the Better total order; the surviving (config, score) pair is independent of map iteration order
+			best, bestU, ok = c, v, true
 		}
 	}
 	return best, bestU
@@ -131,16 +176,22 @@ func Metric(k int, perf float64, cfg Config) float64 {
 	return math.Pow(perf, float64(k)) / a
 }
 
-// BestByMetric returns the perf^k/area-maximizing configuration.
+// BestByMetric returns the perf^k/area-maximizing configuration, resolving
+// ties with PreferOnTie under area prices (Market2). Like Utility.Best it is
+// an allocation-free map reduction under a total order.
 func BestByMetric(k int, g Grid) (Config, float64) {
+	m := Market2()
 	var best Config
 	bestM := math.Inf(-1)
-	for _, c := range g.Configs() {
+	ok := false
+	for c, p := range g {
 		if !c.Valid() {
 			continue
 		}
-		if v := Metric(k, g[c], c); v > bestM {
-			best, bestM = c, v
+		v := Metric(k, p, c)
+		if !ok || Better(m, v, c, bestM, best) {
+			//ssim:nolint maprange: reduction under the Better total order; the surviving (config, score) pair is independent of map iteration order
+			best, bestM, ok = c, v, true
 		}
 	}
 	return best, bestM

@@ -225,3 +225,91 @@ func TestBestFixedErrors(t *testing.T) {
 		t.Fatal("suite with empty grid accepted")
 	}
 }
+
+// TestBestTieBreakRule pins the explicit tie-breaking order: equal utility
+// resolves to the lower cost, then the lower Slice count, then less cache.
+func TestBestTieBreakRule(t *testing.T) {
+	u := Utility{K: 1, Budget: 100}
+	m := Market2()
+	// U_1 = (B/cost)*P, so P(c) = cost(c) makes every configuration tie at
+	// exactly U = B.
+	g := make(Grid)
+	for _, c := range []Config{
+		{Slices: 4, CacheKB: 1024},
+		{Slices: 2, CacheKB: 256},
+		{Slices: 1, CacheKB: 128}, // cost 2, ties (2 Slices, 0KB) on cost
+		{Slices: 2, CacheKB: 0},   // cost 2
+	} {
+		g[c] = m.Cost(c)
+	}
+	best, bestU := u.Best(m, g)
+	if bestU != u.Budget {
+		t.Fatalf("tie plateau broken: best utility %.6f != %.6f", bestU, u.Budget)
+	}
+	// Cost tie at 2 between (1 Slice, 128KB) and (2 Slices, 0KB): the rule
+	// prefers fewer Slices.
+	want := Config{Slices: 1, CacheKB: 128}
+	if best != want {
+		t.Fatalf("tie-break picked %v, want %v (lower cost, then fewer Slices)", best, want)
+	}
+	if !PreferOnTie(m, Config{Slices: 1, CacheKB: 128}, Config{Slices: 2, CacheKB: 0}) {
+		t.Fatal("PreferOnTie: equal cost must prefer fewer Slices")
+	}
+	if !PreferOnTie(m, Config{Slices: 2, CacheKB: 0}, Config{Slices: 2, CacheKB: 64}) {
+		t.Fatal("PreferOnTie: cheaper config must win")
+	}
+	if !PreferOnTie(m, Config{Slices: 1, CacheKB: 0}, Config{Slices: 1, CacheKB: 64}) {
+		t.Fatal("PreferOnTie: equal cost and Slices must prefer less cache")
+	}
+	// Better is a strict total order on (score, config): exactly one of
+	// a<b, b<a for distinct configs at equal score.
+	a, b := Config{Slices: 3, CacheKB: 64}, Config{Slices: 2, CacheKB: 192}
+	if Better(m, 1, a, 1, b) == Better(m, 1, b, 1, a) {
+		t.Fatal("Better is not antisymmetric on a tie")
+	}
+}
+
+// TestBestAllocFree pins the satellite claim: the optimum reductions no
+// longer allocate (they previously sorted a fresh []Config per call).
+func TestBestAllocFree(t *testing.T) {
+	g := toyGrid(func(c Config) float64 { return float64(c.Slices) })
+	u, m := Utility2(), Market2()
+	if n := testing.AllocsPerRun(20, func() { u.Best(m, g) }); n != 0 {
+		t.Fatalf("Utility.Best allocates %.0f objects per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { BestByMetric(2, g) }); n != 0 {
+		t.Fatalf("BestByMetric allocates %.0f objects per call, want 0", n)
+	}
+}
+
+// BenchmarkUtilityBest measures the hot path of every tatonnement round:
+// one customer's best response over a full 72-point grid.
+func BenchmarkUtilityBest(b *testing.B) {
+	g := make(Grid)
+	for s := 1; s <= 8; s++ {
+		for _, kb := range []int{0, 64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+			c := Config{Slices: s, CacheKB: kb}
+			g[c] = float64(s) * (1 + float64(kb)/8192)
+		}
+	}
+	u, m := Utility2(), Market2()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Best(m, g)
+	}
+}
+
+// BenchmarkGridConfigs is the old per-call cost Best used to pay: allocate
+// and sort the config list.
+func BenchmarkGridConfigs(b *testing.B) {
+	g := make(Grid)
+	for s := 1; s <= 8; s++ {
+		for _, kb := range []int{0, 64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+			g[Config{Slices: s, CacheKB: kb}] = float64(s)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Configs()
+	}
+}

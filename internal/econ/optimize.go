@@ -1,0 +1,305 @@
+package econ
+
+import (
+	"fmt"
+	"math"
+)
+
+// Incremental optimum search (the online market engine's core). The batch
+// drivers find each customer's utility-maximizing VCore by sweeping the full
+// (Slices x CacheKB) measurement grid — fine for regenerating figures,
+// hopeless for pricing a stream of bids. This file searches the utility
+// surface U(c,s) directly: starting from a warm configuration (the
+// customer's previous optimum, or a neighbor's), it greedily ascends the
+// lattice, probing the simulator only for configurations the search actually
+// visits. The surfaces of §5.7 (Fig. 14) are unimodal in practice — utility
+// rises toward a single interior peak and falls off with over-provisioning —
+// so the ascent converges in a handful of probes; when the assumption fails,
+// a bounded probe budget triggers the exhaustive-sweep escape hatch, so the
+// search is never wrong, only occasionally as slow as the grid (see
+// DESIGN.md, "Incremental optimum search").
+
+// ProbeFn returns the measured performance P(c) of one configuration. A
+// probe may be expensive (a simulator run) or cheap (a results-cache hit);
+// the Optimizer memoizes probed values so each configuration is requested at
+// most once per Optimizer lifetime.
+type ProbeFn func(Config) (float64, error)
+
+// Objective scores a configuration given its measured performance. The two
+// objectives in use are Utility.Value at the current market prices (bid
+// pricing) and Metric (perf^k/area, phase scheduling).
+type Objective func(perf float64, cfg Config) float64
+
+// DefaultProbeBudget bounds the probes one Search may issue before falling
+// back to the exhaustive sweep. A converging cold search on the standard
+// 8x9 lattice — two ascents (warm start + frugal corner) with their cross
+// checks — measures at most ~50 probes over the synthetic surface family
+// (mean ~37); warm searches on a memoized surface use <= ~8. A search still
+// probing past this many misses is evidence the surface is not basin-shaped
+// and exactness demands the sweep.
+const DefaultProbeBudget = 60
+
+// Optimizer searches utility/metric surfaces over a fixed configuration
+// lattice, memoizing every probed performance value. It is NOT safe for
+// concurrent use; the market engine serializes searches per benchmark.
+type Optimizer struct {
+	slices []int // ascending Slice axis
+	caches []int // ascending CacheKB axis
+	// Budget is the per-Search probe cap before the exhaustive fallback
+	// (DefaultProbeBudget if 0).
+	Budget int
+
+	memo   map[Config]float64
+	probes int // cumulative memo misses (actual ProbeFn calls)
+}
+
+// NewOptimizer builds an Optimizer over the given axes. The axes must be
+// strictly ascending and non-empty (the standard lattice is
+// experiments.StdSlices x experiments.StdCaches).
+func NewOptimizer(slices, caches []int) (*Optimizer, error) {
+	if len(slices) == 0 || len(caches) == 0 {
+		return nil, fmt.Errorf("econ: empty optimizer axis")
+	}
+	for i := 1; i < len(slices); i++ {
+		if slices[i] <= slices[i-1] {
+			return nil, fmt.Errorf("econ: slice axis not ascending: %v", slices)
+		}
+	}
+	for i := 1; i < len(caches); i++ {
+		if caches[i] <= caches[i-1] {
+			return nil, fmt.Errorf("econ: cache axis not ascending: %v", caches)
+		}
+	}
+	o := &Optimizer{
+		slices: append([]int(nil), slices...),
+		caches: append([]int(nil), caches...),
+		memo:   make(map[Config]float64, len(slices)*len(caches)),
+	}
+	return o, nil
+}
+
+// LatticeSize returns the number of configurations on the lattice — the
+// probe cost of one exhaustive sweep.
+func (o *Optimizer) LatticeSize() int { return len(o.slices) * len(o.caches) }
+
+// Probes returns the cumulative number of ProbeFn calls issued (memo
+// misses) over the Optimizer's lifetime.
+func (o *Optimizer) Probes() int { return o.probes }
+
+// Known returns the memoized performance for cfg, if it has been probed.
+func (o *Optimizer) Known(cfg Config) (float64, bool) {
+	p, ok := o.memo[cfg]
+	return p, ok
+}
+
+// Grid returns a copy of every memoized measurement as a Grid — the partial
+// performance surface the searches have explored so far.
+func (o *Optimizer) Grid() Grid {
+	g := make(Grid, len(o.memo))
+	//ssim:nolint maprange: copying one map into another keyed by the same key is order-independent
+	for c, p := range o.memo {
+		g[c] = p
+	}
+	return g
+}
+
+// SearchResult reports one incremental optimum search.
+type SearchResult struct {
+	// Best is the score-maximizing configuration on the lattice, with ties
+	// resolved by PreferOnTie — identical to what the exhaustive sweep
+	// (Utility.Best / BestByMetric over the full grid) returns.
+	Best Config
+	// Perf is the measured performance at Best; Score is its objective value.
+	Perf, Score float64
+	// Probes counts the ProbeFn calls this search issued (memo hits are
+	// free). A warm-started converging search issues at most ~8; an
+	// exhaustive fallback up to LatticeSize().
+	Probes int
+	// Steps counts ascent moves taken from the start configuration.
+	Steps int
+	// FellBack reports that the probe budget was exhausted and the search
+	// completed by exhaustive sweep (the escape hatch for non-unimodal
+	// surfaces).
+	FellBack bool
+}
+
+// errBudget signals budget exhaustion internally.
+var errBudget = fmt.Errorf("econ: probe budget exhausted")
+
+func (o *Optimizer) budget() int {
+	if o.Budget > 0 {
+		return o.Budget
+	}
+	return DefaultProbeBudget
+}
+
+// perf returns the memoized or freshly probed performance of cfg, counting
+// the probe against limit (math.MaxInt disables the cap).
+func (o *Optimizer) perf(cfg Config, probe ProbeFn, spent *int, limit int) (float64, error) {
+	if p, ok := o.memo[cfg]; ok {
+		return p, nil
+	}
+	if *spent >= limit {
+		return 0, errBudget
+	}
+	p, err := probe(cfg)
+	if err != nil {
+		return 0, err
+	}
+	o.memo[cfg] = p
+	o.probes++
+	*spent++
+	return p, nil
+}
+
+// axisIndex returns the position of v on axis, or -1.
+//
+//ssim:hotpath
+func axisIndex(axis []int, v int) int {
+	for i, x := range axis {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Search finds the objective-maximizing configuration on the lattice,
+// starting the ascent from start (any off-lattice or zero start falls back
+// to the lattice midpoint). tie supplies the cost vector for PreferOnTie
+// tie-breaking, so plateau resolution matches the exhaustive sweep's.
+//
+// The ascent evaluates the full 8-neighborhood in index space — axis moves
+// plus diagonals, because the budget constraint makes equal-cost trades
+// (one Slice for two banks under area prices) exactly the moves a
+// unimodal-in-axes surface can hide — and moves to the neighbor that wins
+// under Better. On convergence it line-searches the row and column through
+// the candidate (the cross check): any improvement resumes the ascent.
+//
+// The search is multi-start: a second ascent runs from the cheapest lattice
+// corner and the better converged candidate wins. U = (B/cost)·P^k divides
+// by cost, so whenever P grows sublinearly the surface splits into two
+// basins — a performance basin near the warm start and a frugal basin near
+// the cheap corner — and a single ascent started in one cannot see the
+// other. The two ascents anchor both basins; the cross check catches
+// axis-aligned ridges; anything still missed is caught by the differential
+// tests and, at runtime, by the budget fallback.
+func (o *Optimizer) Search(obj Objective, tie Market, start Config, probe ProbeFn) (SearchResult, error) {
+	si := axisIndex(o.slices, start.Slices)
+	ci := axisIndex(o.caches, start.CacheKB)
+	if si < 0 || ci < 0 {
+		si, ci = len(o.slices)/2, len(o.caches)/2
+	}
+	var res SearchResult
+	spent := 0
+	limit := o.budget()
+	score := func(i, j int) (Config, float64, float64, error) {
+		cfg := Config{Slices: o.slices[i], CacheKB: o.caches[j]}
+		p, err := o.perf(cfg, probe, &spent, limit)
+		if err != nil {
+			return cfg, 0, 0, err
+		}
+		return cfg, p, obj(p, cfg), nil
+	}
+	// ascend climbs from (si, ci) to a local optimum that also survives the
+	// row/column cross check.
+	ascend := func(si, ci int) (cfg Config, p, v float64, err error) {
+		cur, curP, curV, err := score(si, ci)
+		if err != nil {
+			return cur, 0, 0, err
+		}
+		for {
+			// Best neighbor in the 8-neighborhood, deterministic order.
+			bi, bj := si, ci
+			best, bestP, bestV := cur, curP, curV
+			for di := -1; di <= 1; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					if di == 0 && dj == 0 {
+						continue
+					}
+					ni, nj := si+di, ci+dj
+					if ni < 0 || ni >= len(o.slices) || nj < 0 || nj >= len(o.caches) {
+						continue
+					}
+					cfg, p, v, serr := score(ni, nj)
+					if serr != nil {
+						return cfg, 0, 0, serr
+					}
+					if Better(tie, v, cfg, bestV, best) {
+						bi, bj, best, bestP, bestV = ni, nj, cfg, p, v
+					}
+				}
+			}
+			if bi != si || bj != ci {
+				si, ci, cur, curP, curV = bi, bj, best, bestP, bestV
+				res.Steps++
+				continue
+			}
+			// Converged: cross check — line-search the full row and column
+			// through the candidate; resume the ascent on any improvement.
+			mi, mj := si, ci
+			for j := range o.caches {
+				cfg, p, v, serr := score(si, j)
+				if serr != nil {
+					return cfg, 0, 0, serr
+				}
+				if Better(tie, v, cfg, bestV, best) {
+					mi, mj, best, bestP, bestV = si, j, cfg, p, v
+				}
+			}
+			for i := range o.slices {
+				cfg, p, v, serr := score(i, ci)
+				if serr != nil {
+					return cfg, 0, 0, serr
+				}
+				if Better(tie, v, cfg, bestV, best) {
+					mi, mj, best, bestP, bestV = i, ci, cfg, p, v
+				}
+			}
+			if mi == si && mj == ci {
+				return cur, curP, curV, nil
+			}
+			si, ci, cur, curP, curV = mi, mj, best, bestP, bestV
+			res.Steps++
+		}
+	}
+	cur, curP, curV, err := ascend(si, ci)
+	if err == nil && (si != 0 || ci != 0) {
+		// Second start at the cheapest corner to anchor the frugal basin.
+		var fr Config
+		var frP, frV float64
+		fr, frP, frV, err = ascend(0, 0)
+		if err == nil && Better(tie, frV, fr, curV, cur) {
+			cur, curP, curV = fr, frP, frV
+		}
+	}
+	if err == nil {
+		res.Best, res.Perf, res.Score, res.Probes = cur, curP, curV, spent
+		return res, nil
+	}
+	if err != errBudget {
+		return SearchResult{}, err
+	}
+	// Escape hatch: the budget ran out before convergence — the surface is
+	// not unimodal enough for the ascent. Sweep the whole lattice through
+	// the memo (configurations the climb already probed are free), so the
+	// result is exact at worst-case O(lattice) cost.
+	res.FellBack = true
+	best, bestP, bestV := Config{}, 0.0, math.Inf(-1)
+	ok := false
+	for i := range o.slices {
+		for j := range o.caches {
+			cfg := Config{Slices: o.slices[i], CacheKB: o.caches[j]}
+			p, perr := o.perf(cfg, probe, &spent, math.MaxInt)
+			if perr != nil {
+				return SearchResult{}, perr
+			}
+			v := obj(p, cfg)
+			if !ok || Better(tie, v, cfg, bestV, best) {
+				best, bestP, bestV, ok = cfg, p, v, true
+			}
+		}
+	}
+	res.Best, res.Perf, res.Score, res.Probes = best, bestP, bestV, spent
+	return res, nil
+}

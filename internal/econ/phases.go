@@ -58,17 +58,21 @@ func PhaseAnalysis(phases []PhaseData, k int, reconfig ReconfigCostFn) (*PhaseSc
 		perf := float64(ph.Insts) / float64(cyc+extraCycles)
 		return Metric(k, perf, c), nil
 	}
+	// Sort the candidate enumeration once: PhaseAnalysis previously
+	// re-sorted inside every phase loop and again per static candidate.
+	ordered := sortConfigs(configs)
 	// Per-phase optimum, ignoring reconfiguration cost during selection
 	// (as the paper does; costs are charged to the resulting schedule).
 	sched := &PhaseSchedule{K: k, PerPhase: make([]Config, len(phases))}
+	tie := Market2() // area prices, consistent with the Metric objective
 	for i, ph := range phases {
 		best := math.Inf(-1)
-		for _, c := range sortConfigs(configs) {
+		for ci, c := range ordered {
 			m, err := metric(ph, c, 0)
 			if err != nil {
 				return nil, err
 			}
-			if m > best {
+			if ci == 0 || Better(tie, m, c, best, sched.PerPhase[i]) {
 				best = m
 				sched.PerPhase[i] = c
 			}
@@ -88,9 +92,11 @@ func PhaseAnalysis(phases []PhaseData, k int, reconfig ReconfigCostFn) (*PhaseSc
 		dyn[i] = m
 	}
 	sched.DynGME = GME(dyn)
-	// Static best: single config maximizing the GME across phases.
+	// Static best: single config maximizing the GME across phases, under the
+	// same explicit tie-break as the per-phase selection.
 	bestStatic := math.Inf(-1)
-	for _, c := range sortConfigs(configs) {
+	haveStatic := false
+	for _, c := range ordered {
 		vals := make([]float64, len(phases))
 		ok := true
 		for i, ph := range phases {
@@ -104,15 +110,118 @@ func PhaseAnalysis(phases []PhaseData, k int, reconfig ReconfigCostFn) (*PhaseSc
 		if !ok {
 			continue
 		}
-		if g := GME(vals); g > bestStatic {
+		if g := GME(vals); !haveStatic || Better(tie, g, c, bestStatic, sched.StaticBest) {
 			bestStatic = g
 			sched.StaticBest = c
+			haveStatic = true
 		}
 	}
 	sched.StaticGME = bestStatic
 	if sched.StaticGME > 0 {
 		sched.Gain = sched.DynGME/sched.StaticGME - 1
 	}
+	return sched, nil
+}
+
+// PhaseProbeFn measures one phase of the program at one configuration,
+// returning the phase's instruction count and execution cycles.
+type PhaseProbeFn func(phase int, cfg Config) (insts uint64, cycles int64, err error)
+
+// IncrementalPhaseSchedule is the probe-driven counterpart of PhaseSchedule:
+// the same per-phase configuration choices and dynamic GME, discovered by
+// warm-started lattice search instead of a full per-phase grid. It omits the
+// static-best comparison — computing it requires the full grid for every
+// phase, which is exactly what the incremental path avoids.
+type IncrementalPhaseSchedule struct {
+	K        int
+	PerPhase []Config
+	// Probes is the simulator probes issued per phase. Consecutive program
+	// phases have similar working sets, so each phase's search warm-starts
+	// from the previous phase's optimum and converges in a few probes.
+	Probes []int
+	// FellBack counts phases whose search used the exhaustive escape hatch.
+	FellBack int
+	// ReconfigCycles is the total hypervisor reconfiguration cost charged
+	// across phase transitions.
+	ReconfigCycles int64
+	// DynGME is the geometric mean of the per-phase perf^k/area metric with
+	// reconfiguration charged, as in PhaseSchedule.
+	DynGME float64
+}
+
+// IncrementalPhaseAnalysis computes the dynamic schedule of PhaseAnalysis
+// without measuring full per-phase grids: phase 0 starts the search at the
+// lattice midpoint (or warmStart, when the caller has one — e.g. the
+// program's whole-run optimum), and each later phase warm-starts from the
+// previous phase's choice. The chosen configurations are identical to
+// PhaseAnalysis's (both optimize Metric under the Better tie-break over the
+// same lattice); the differential tests in econ and experiments pin that.
+func IncrementalPhaseAnalysis(nPhases, k int, opt *Optimizer, warmStart Config, probe PhaseProbeFn, reconfig ReconfigCostFn) (*IncrementalPhaseSchedule, error) {
+	if nPhases <= 0 {
+		return nil, fmt.Errorf("econ: no phases")
+	}
+	if opt == nil {
+		return nil, fmt.Errorf("econ: nil optimizer")
+	}
+	sched := &IncrementalPhaseSchedule{
+		K:        k,
+		PerPhase: make([]Config, nPhases),
+		Probes:   make([]int, nPhases),
+	}
+	tie := Market2()
+	obj := func(perf float64, cfg Config) float64 { return Metric(k, perf, cfg) }
+	// The per-phase cycle counts behind the chosen configs, for the GME.
+	insts := make([]uint64, nPhases)
+	cycles := make([]int64, nPhases)
+	start := warmStart
+	for ph := 0; ph < nPhases; ph++ {
+		// Each phase is a distinct performance surface, so it gets a fresh
+		// memo over the shared axes; the warm start is what carries
+		// cross-phase locality.
+		po, err := NewOptimizer(opt.slices, opt.caches)
+		if err != nil {
+			return nil, err
+		}
+		po.Budget = opt.Budget
+		var phInsts uint64
+		phCycles := make(map[Config]int64)
+		res, err := po.Search(obj, tie, start, func(cfg Config) (float64, error) {
+			n, cyc, perr := probe(ph, cfg)
+			if perr != nil {
+				return 0, perr
+			}
+			if cyc <= 0 {
+				return 0, fmt.Errorf("econ: phase %d %v: non-positive cycles %d", ph, cfg, cyc)
+			}
+			phInsts = n
+			phCycles[cfg] = cyc
+			return float64(n) / float64(cyc), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sched.PerPhase[ph] = res.Best
+		sched.Probes[ph] = res.Probes
+		if res.FellBack {
+			sched.FellBack++
+		}
+		insts[ph] = phInsts
+		cycles[ph] = phCycles[res.Best]
+		start = res.Best
+	}
+	// Dynamic GME with reconfiguration charged when the config changes,
+	// exactly as PhaseAnalysis does.
+	dyn := make([]float64, nPhases)
+	for i := 0; i < nPhases; i++ {
+		var extra int64
+		if i > 0 {
+			extra = reconfig(sched.PerPhase[i-1], sched.PerPhase[i])
+			sched.ReconfigCycles += extra
+		}
+		perf := float64(insts[i]) / float64(cycles[i]+extra)
+		dyn[i] = Metric(k, perf, sched.PerPhase[i])
+	}
+	sched.DynGME = GME(dyn)
 	return sched, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sharing/internal/econ"
 	"sharing/internal/sim"
@@ -134,6 +135,7 @@ type Runner struct {
 	cache    map[string]Measurement
 	inflight map[string]chan struct{}
 	dirty    bool
+	simRuns  atomic.Int64 // actual sim.Run executions (cache misses)
 
 	// One worker pool shared by every concurrent grid (created lazily from
 	// workers()), so simultaneous Grid/SuiteGrids calls cannot multiply the
@@ -153,6 +155,13 @@ func NewRunner() *Runner {
 
 // EffectiveTraceLen returns the instruction count per thread in use.
 func (r *Runner) EffectiveTraceLen() int { return r.traceLen() }
+
+// SimRuns returns the number of actual simulator executions so far —
+// measurements that missed both the in-memory and the persisted results
+// cache. It is the denominator of the incremental market engine's probe
+// economy: optimizer probes that hit this Runner's cache cost no simulator
+// work.
+func (r *Runner) SimRuns() int64 { return r.simRuns.Load() }
 
 func (r *Runner) traceLen() int {
 	if r.TraceLen <= 0 {
@@ -382,6 +391,7 @@ func (r *Runner) measure(k key) (Measurement, error) {
 	} else {
 		p.Sequential = true
 	}
+	r.simRuns.Add(1)
 	res, err := sim.Run(p, mt)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("experiments: %s: %w", ks, err)

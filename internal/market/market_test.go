@@ -1,0 +1,336 @@
+package market
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sharing/internal/econ"
+	"sharing/internal/hypervisor"
+)
+
+var (
+	tSlices = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	tCaches = []int{0, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+)
+
+// Synthetic per-benchmark performance surfaces, shaped like the paper's
+// regimes (Fig. 12): mcf-like cache lovers, sjeng-like compute lovers.
+var benchPerf = map[string]func(econ.Config) float64{
+	"cachey": func(c econ.Config) float64 {
+		return 0.3 + 1.8*float64(c.CacheKB)/(float64(c.CacheKB)+700)
+	},
+	"slicey": func(c econ.Config) float64 {
+		s := float64(c.Slices)
+		return 0.25 * s * (1 + 0.05*float64(c.CacheKB)/8192)
+	},
+	"mixed": func(c econ.Config) float64 {
+		s := float64(c.Slices)
+		kb := float64(c.CacheKB)
+		return (s / (s + 1)) * (0.4 + kb/(kb+400))
+	},
+}
+
+// phasePerf gives "mixed" a phased life: phase 0 is cache-hungry, phase 1
+// compute-hungry.
+var phasePerf = map[int]func(econ.Config) float64{
+	0: func(c econ.Config) float64 {
+		return 0.2 + 2.0*float64(c.CacheKB)/(float64(c.CacheKB)+900)
+	},
+	1: func(c econ.Config) float64 {
+		return 0.22 * float64(c.Slices)
+	},
+}
+
+// fakeProber serves the synthetic surfaces and counts simulator calls.
+type fakeProber struct {
+	calls int
+}
+
+func (f *fakeProber) Probe(bench string, cfg econ.Config) (float64, error) {
+	fn, ok := benchPerf[bench]
+	if !ok {
+		return 0, fmt.Errorf("no bench %q", bench)
+	}
+	f.calls++
+	return fn(cfg), nil
+}
+
+func (f *fakeProber) ProbePhase(bench string, phase int, cfg econ.Config) (float64, error) {
+	fn, ok := phasePerf[phase]
+	if !ok || bench != "mixed" {
+		return 0, fmt.Errorf("no phase %d of %q", phase, bench)
+	}
+	f.calls++
+	return fn(cfg), nil
+}
+
+// grid sweeps a synthetic surface into a full measurement grid — the batch
+// path's input.
+func grid(perf func(econ.Config) float64) econ.Grid {
+	g := make(econ.Grid)
+	for _, s := range tSlices {
+		for _, kb := range tCaches {
+			cfg := econ.Config{Slices: s, CacheKB: kb}
+			g[cfg] = perf(cfg)
+		}
+	}
+	return g
+}
+
+var testSupply = econ.Supply{Slices: 64, Banks: 64}
+
+// scratch recomputes the clearing from scratch with full grids: the batch
+// reference the incremental engine must match byte for byte.
+func scratch(t *testing.T, members []econ.Customer) *econ.ClearingResult {
+	t.Helper()
+	res, err := econ.ClearMarket(members, testSupply, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustEqual(t *testing.T, got, want *econ.ClearingResult, step string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: incremental clearing diverged from scratch recompute\n got: %+v\nwant: %+v", step, got, want)
+	}
+}
+
+func newEngine(t *testing.T) (*Engine, *fakeProber) {
+	t.Helper()
+	fp := &fakeProber{}
+	e, err := New(Params{Slices: tSlices, CacheKB: tCaches, Supply: testSupply}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, fp
+}
+
+// TestChurnByteIdentical drives an arrival/departure/phase-change sequence
+// and asserts after every event that the engine's allocations are
+// byte-identical to a from-scratch recompute over full grids.
+func TestChurnByteIdentical(t *testing.T) {
+	e, _ := newEngine(t)
+
+	cust := func(name, bench string, u econ.Utility) econ.Customer {
+		return econ.Customer{Name: name, Grid: grid(benchPerf[bench]), Utility: u}
+	}
+
+	// Arrival stream.
+	resA, err := e.Arrive("alice", "cachey", econ.Utility1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, resA, scratch(t, []econ.Customer{cust("alice", "cachey", econ.Utility1())}), "arrive alice")
+
+	resB, err := e.Arrive("bob", "slicey", econ.Utility3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, resB, scratch(t, []econ.Customer{
+		cust("alice", "cachey", econ.Utility1()),
+		cust("bob", "slicey", econ.Utility3()),
+	}), "arrive bob")
+
+	// carol shares alice's surface: her searches ride the memo.
+	resC, err := e.Arrive("carol", "cachey", econ.Utility2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, resC, scratch(t, []econ.Customer{
+		cust("alice", "cachey", econ.Utility1()),
+		cust("bob", "slicey", econ.Utility3()),
+		cust("carol", "cachey", econ.Utility2()),
+	}), "arrive carol")
+
+	// Departure re-auctions only the survivors.
+	resD, err := e.Depart("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, resD, scratch(t, []econ.Customer{
+		cust("alice", "cachey", econ.Utility1()),
+		cust("carol", "cachey", econ.Utility2()),
+	}), "depart bob")
+
+	// Phase change mid-stream: dave arrives on the phased benchmark, then
+	// switches phases; the reference rebuilds his grid per phase.
+	if _, err := e.Arrive("dave", "mixed", econ.Utility2()); err != nil {
+		t.Fatal(err)
+	}
+	resP0, ev0, err := e.SetPhase("dave", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, resP0, scratch(t, []econ.Customer{
+		cust("alice", "cachey", econ.Utility1()),
+		cust("carol", "cachey", econ.Utility2()),
+		{Name: "dave", Grid: grid(phasePerf[0]), Utility: econ.Utility2()},
+	}), "dave phase 0")
+	if ev0.Customer != "dave" {
+		t.Fatalf("reconfig event for %q", ev0.Customer)
+	}
+
+	resP1, ev1, err := e.SetPhase("dave", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqual(t, resP1, scratch(t, []econ.Customer{
+		cust("alice", "cachey", econ.Utility1()),
+		cust("carol", "cachey", econ.Utility2()),
+		{Name: "dave", Grid: grid(phasePerf[1]), Utility: econ.Utility2()},
+	}), "dave phase 1")
+	// The phase flip moves dave from a cache-hungry to a compute-hungry
+	// optimum; the transition must be priced by the hypervisor's plan.
+	wantPlan := hypervisor.PlanReconfig(ev1.From.Slices, ev1.From.CacheKB, ev1.To.Slices, ev1.To.CacheKB)
+	if ev1.Plan != wantPlan {
+		t.Fatalf("reconfig plan %+v, want %+v", ev1.Plan, wantPlan)
+	}
+	if ev1.From == ev1.To {
+		t.Fatalf("phase flip should move dave's optimum (stayed at %v)", ev1.From)
+	}
+	if ev1.Plan.Noop() || ev1.Plan.Cycles == 0 {
+		t.Fatalf("non-trivial transition must cost cycles: %+v", ev1.Plan)
+	}
+
+	// Drain the market: Result goes nil.
+	for _, name := range []string{"alice", "carol", "dave"} {
+		if _, err := e.Depart(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Result() != nil {
+		t.Fatal("empty market must have nil result")
+	}
+	if got := e.Customers(); len(got) != 0 {
+		t.Fatalf("customers left: %v", got)
+	}
+}
+
+// TestChurnProbeEconomy pins the perf claim behind the whole package: churn
+// costs at most one grid's worth of probes per distinct surface (memo
+// ceiling), and warm re-arrivals are nearly free.
+func TestChurnProbeEconomy(t *testing.T) {
+	e, fp := newEngine(t)
+	if _, err := e.Arrive("alice", "cachey", econ.Utility1()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Arrive("bob", "slicey", econ.Utility3()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Probes != fp.calls {
+		t.Fatalf("stats count %d probes, prober saw %d", st.Probes, fp.calls)
+	}
+	if st.Probes > st.GridProbes {
+		t.Fatalf("churn issued %d probes, above the %d memo ceiling", st.Probes, st.GridProbes)
+	}
+
+	// bob leaves and returns: his surface memo survived, so the whole
+	// depart+arrive round trip must cost (almost) no new simulator work.
+	before := fp.calls
+	if _, err := e.Depart("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Arrive("bob", "slicey", econ.Utility3()); err != nil {
+		t.Fatal(err)
+	}
+	delta := fp.calls - before
+	if delta*10 > e.LatticeSize() {
+		t.Fatalf("warm re-arrival cost %d probes, not 10x under the %d-point grid", delta, e.LatticeSize())
+	}
+	t.Logf("probes: total=%d gridEquivalent=%d rearrival=%d", fp.calls, e.Stats().GridProbes, delta)
+}
+
+// TestPriceBidWarm pins the bid-stream claim: the first bid on a surface is
+// the only expensive one; warm bids are >= 10x cheaper than the grid.
+func TestPriceBidWarm(t *testing.T) {
+	e, fp := newEngine(t)
+	cold, err := e.PriceBid("mixed", econ.Utility2(), econ.Market2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Warm {
+		t.Fatal("first bid cannot be warm")
+	}
+	g := grid(benchPerf["mixed"])
+	wantCfg, wantU := econ.Utility2().Best(econ.Market2(), g)
+	if cold.Config != wantCfg || cold.Utility != wantU {
+		t.Fatalf("cold bid %v (%.6f) != sweep %v (%.6f)", cold.Config, cold.Utility, wantCfg, wantU)
+	}
+
+	// Warm bids: same surface, all markets and utilities.
+	before := fp.calls
+	n := 0
+	for _, m := range econ.Markets() {
+		for _, u := range econ.Utilities() {
+			warm, err := e.PriceBid("mixed", u, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !warm.Warm {
+				t.Fatal("repeat bid must be warm")
+			}
+			wc, wu := u.Best(m, g)
+			if warm.Config != wc || warm.Utility != wu {
+				t.Fatalf("%s/U%d warm bid %v (%.6f) != sweep %v (%.6f)", m.Name, u.K, warm.Config, warm.Utility, wc, wu)
+			}
+			n++
+		}
+	}
+	perBid := float64(fp.calls-before) / float64(n)
+	if perBid*10 > float64(e.LatticeSize()) {
+		t.Fatalf("warm bids averaged %.1f probes, not 10x under the %d-point grid", perBid, e.LatticeSize())
+	}
+	t.Logf("cold=%d probes; warm avg=%.1f probes vs %d-point grid", cold.Probes, perBid, e.LatticeSize())
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := New(Params{Slices: tSlices, CacheKB: tCaches}, nil); err == nil {
+		t.Fatal("nil prober accepted")
+	}
+	if _, err := New(Params{}, &fakeProber{}); err == nil {
+		t.Fatal("empty axes accepted")
+	}
+	if _, err := New(Params{Slices: []int{2, 1}, CacheKB: tCaches}, &fakeProber{}); err == nil {
+		t.Fatal("descending axis accepted")
+	}
+	e, _ := newEngine(t)
+	if _, err := e.Arrive("a", "cachey", econ.Utility1()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Arrive("a", "slicey", econ.Utility1()); err == nil {
+		t.Fatal("duplicate customer accepted")
+	}
+	if _, err := e.Depart("ghost"); err == nil {
+		t.Fatal("unknown departure accepted")
+	}
+	if _, _, err := e.SetPhase("ghost", 0); err == nil {
+		t.Fatal("phase change for unknown customer accepted")
+	}
+	if _, err := e.PriceBid("nope", econ.Utility1(), econ.Market2()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// nonPhaseProber implements only Prober.
+type nonPhaseProber struct{}
+
+func (nonPhaseProber) Probe(bench string, cfg econ.Config) (float64, error) {
+	return benchPerf["mixed"](cfg), nil
+}
+
+func TestSetPhaseRequiresPhaseProber(t *testing.T) {
+	e, err := New(Params{Slices: tSlices, CacheKB: tCaches, Supply: testSupply}, nonPhaseProber{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Arrive("a", "mixed", econ.Utility1()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.SetPhase("a", 0); err == nil {
+		t.Fatal("phase change without a PhaseProber accepted")
+	}
+}
