@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel bench lint market-smoke check
+.PHONY: build vet test race race-parallel bench bench-fleet lint market-smoke fleet-smoke check
 
 build:
 	$(GO) build ./...
@@ -42,4 +42,16 @@ market-smoke:
 	$(GO) test -race -short -run 'TestIncrementalBidMatchesGrid|TestTable6IncrementalMatchesBatch|TestChurnScenarioRuns' ./internal/experiments
 	$(GO) test -race ./internal/market
 
-check: build vet test race race-parallel lint market-smoke
+# Fleet determinism differential (1 vs 2/4/8 shards, byte-identical
+# fingerprints under every policy combination) and the hand-computed energy
+# pin, under the race detector, then an acceptance-scale synthetic run
+# through the CLI: 2,000 machines / 20,000 VM lifecycle events.
+fleet-smoke:
+	$(GO) test -race -run 'TestFleetDeterminismAcrossShards|TestMachineEnergyHandComputed' ./internal/fleet
+	$(GO) run ./cmd/fleet -synthetic -machines 2000 -events 20000 -shards 4
+
+# Fleet throughput at acceptance scale (the BENCH_ssim.json "fleet" block).
+bench-fleet:
+	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet2000x20000 -benchtime 5x
+
+check: build vet test race race-parallel lint market-smoke fleet-smoke

@@ -1,0 +1,150 @@
+// Command fleet runs the sharded datacenter simulator: a churning stream of
+// VM bids priced in O(probes) through shared-surface market engines, placed
+// onto thousands of simulated sharing-architecture chips, with per-Slice and
+// per-L2-bank energy accounting.
+//
+// By default probes run the actual cycle-level simulator through the
+// experiments Runner (with its results cache and sampled mode); -synthetic
+// swaps in closed-form surfaces for mechanics-scale runs (thousands of
+// machines, tens of thousands of events in seconds).
+//
+// Usage:
+//
+//	fleet -synthetic -machines 2000 -events 20000 -shards 4
+//	fleet -machines 64 -events 500 -bench hmmer,gobmk -results results/perf.json
+//	fleet -synthetic -objective perwatt -place packed -adaptive
+//	fleet -fig17k -bench hmmer,gobmk,mcf -results results/perf.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sharing/internal/experiments"
+	"sharing/internal/fleet"
+)
+
+func main() {
+	var (
+		machines  = flag.Int("machines", 2000, "chips in the fleet")
+		shards    = flag.Int("shards", 4, "parallel shards (results are byte-identical for any value)")
+		events    = flag.Int("events", 20000, "VM lifecycle events (arrivals + departures)")
+		rate      = flag.Float64("rate", 500, "mean VM arrivals per simulated second")
+		life      = flag.Float64("life", 10, "mean VM lifetime in simulated seconds")
+		epoch     = flag.Float64("epoch", 1, "simulated seconds per pricing/placement epoch")
+		seed      = flag.Uint64("seed", 7, "event-stream seed")
+		benches   = flag.String("bench", "hmmer,gobmk,mcf,sjeng,astar,bzip", "comma-separated benchmarks bids draw from")
+		objective = flag.String("objective", "utility", "pricing objective: utility|perwatt")
+		place     = flag.String("place", "packed", "placement policy: packed|spread")
+		adaptive  = flag.Bool("adaptive", false, "ratchet prices each epoch by fleet utilization")
+		synthetic = flag.Bool("synthetic", false, "closed-form surfaces instead of simulator probes")
+		finger    = flag.Bool("fingerprint", false, "print the canonical determinism fingerprint")
+		fig17k    = flag.Bool("fig17k", false, "run the K-type datacenter share sweep instead of the event simulation")
+		steps     = flag.Int("steps", 4, "share-simplex granularity for -fig17k")
+		n         = flag.Int("n", experiments.DefaultTraceLen, "instructions per thread (simulator probes)")
+		results   = flag.String("results", "", "JSON results cache (reused across runs)")
+		quiet     = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	names := strings.Split(*benches, ",")
+
+	if *fig17k {
+		r := newRunner(*n, *results, *quiet)
+		res, err := experiments.Fig17K(r, names, 2, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Fig. 17K - datacenter utility over %d-type area shares (perf^2/area optima):\n", len(res.Types))
+		for _, ct := range res.Types {
+			fmt.Printf("  type %-14s %v\n", ct.Name, ct.Cfg)
+		}
+		for _, p := range res.Best {
+			fmt.Printf("  mix %v -> best shares %v  utility %.3f\n", p.JobFracs, p.Shares, p.Utility)
+		}
+		saveRunner(r)
+		return
+	}
+
+	p := fleet.Params{
+		Machines:       *machines,
+		Shards:         *shards,
+		Events:         *events,
+		ArrivalsPerSec: *rate,
+		MeanLifetime:   *life,
+		Epoch:          *epoch,
+		Seed:           *seed,
+		Benches:        names,
+		AdaptivePrices: *adaptive,
+	}
+	switch *objective {
+	case "utility":
+	case "perwatt":
+		p.Objective = fleet.ObjUtilityPerWatt
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+	switch *place {
+	case "packed":
+	case "spread":
+		p.Place = fleet.PlaceSpread
+	default:
+		fatal(fmt.Errorf("unknown placement %q", *place))
+	}
+
+	var (
+		f   *fleet.Fleet
+		r   *experiments.Runner
+		err error
+	)
+	if *synthetic {
+		f, err = fleet.New(p, fleet.SyntheticProber{})
+	} else {
+		r = newRunner(*n, *results, *quiet)
+		f, err = experiments.NewFleet(r, p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	rep, err := f.Run()
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+	fmt.Print(rep.String())
+	fmt.Printf("wall: %.3fs (%.0f events/s)\n", wall.Seconds(), float64(rep.Events)/wall.Seconds())
+	if *finger {
+		fmt.Print(rep.Fingerprint())
+	}
+	saveRunner(r)
+}
+
+func newRunner(n int, results string, quiet bool) *experiments.Runner {
+	r := experiments.NewRunner()
+	r.TraceLen, r.ResultsPath = n, results
+	if !quiet {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if err := r.Load(); err != nil {
+		fatal(err)
+	}
+	return r
+}
+
+func saveRunner(r *experiments.Runner) {
+	if r == nil {
+		return
+	}
+	if err := r.Save(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleet:", err)
+	os.Exit(1)
+}

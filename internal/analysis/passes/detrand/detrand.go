@@ -28,7 +28,7 @@ import (
 
 // DefaultScope lists the packages whose results must be a pure function of
 // configuration and seed.
-const DefaultScope = "internal/sim,internal/vcore,internal/slice,internal/cache,internal/noc,internal/trace,internal/workload,internal/econ,internal/hypervisor,internal/market"
+const DefaultScope = "internal/sim,internal/vcore,internal/slice,internal/cache,internal/noc,internal/trace,internal/workload,internal/econ,internal/hypervisor,internal/market,internal/fleet"
 
 var scope string
 

@@ -1,0 +1,87 @@
+package area
+
+// Power model. The paper's evaluation optimizes perf^k per unit *area*; the
+// fleet simulator (internal/fleet) additionally optimizes per unit *energy*,
+// which needs watts. We derive them from the same 45 nm area model that
+// anchors the Market2 prices: power scales with silicon area through
+// published-order-of-magnitude 45 nm power densities, split into a static
+// (leakage) component that every powered-on structure pays and a dynamic
+// component paid only while a Slice or bank is actively rented and switching.
+// The absolute watts are estimates; as with the area units, only ratios
+// matter to the allocator, and the constants below are pinned by unit tests
+// so energy accounting stays hand-checkable.
+
+// Power densities at TSMC 45 nm, 2 GHz nominal clock (W per mm^2). Logic
+// switches harder than SRAM per unit area; leakage is taken uniform across
+// structure types (a simplification the tests pin).
+const (
+	// ClockGHz is the nominal clock the dynamic densities assume.
+	ClockGHz = 2.0
+	// LeakageWPerMM2 is static (leakage) power density for powered-on
+	// silicon, logic and SRAM alike.
+	LeakageWPerMM2 = 0.10
+	// DynLogicWPerMM2 is dynamic power density of logic at full activity.
+	DynLogicWPerMM2 = 0.40
+	// DynSRAMWPerMM2 is dynamic power density of SRAM at full activity
+	// (reads/writes switch far less capacitance per mm^2 than logic).
+	DynSRAMWPerMM2 = 0.08
+	// SliceSRAMFraction is the SRAM share of Slice area: the two 16 KB L1s
+	// (Fig. 10: 24% + 24%).
+	SliceSRAMFraction = 0.48
+	// ParkedLeakFrac is the fraction of static power a power-gated (parked)
+	// machine still draws: a fleet machine hosting no VMs drops to retention
+	// voltage, paying only this sliver of its leakage.
+	ParkedLeakFrac = 0.10
+	// PeakIPCPerSlice is the per-Slice commit-rate ceiling used to convert a
+	// VM's measured IPC into a dynamic activity factor in [0,1].
+	PeakIPCPerSlice = 1.0
+)
+
+// SliceStaticW returns one Slice's leakage power in watts.
+func SliceStaticW() float64 { return SliceAreaMM2() * LeakageWPerMM2 }
+
+// SliceDynamicW returns one Slice's dynamic power at full activity: the SRAM
+// fraction (the L1s) switches at SRAM density, the rest at logic density.
+func SliceDynamicW() float64 {
+	return SliceAreaMM2() * (SliceSRAMFraction*DynSRAMWPerMM2 + (1-SliceSRAMFraction)*DynLogicWPerMM2)
+}
+
+// BankStaticW returns one 64 KB L2 bank's leakage power in watts.
+func BankStaticW() float64 { return BankAreaMM2() * LeakageWPerMM2 }
+
+// BankDynamicW returns one 64 KB L2 bank's dynamic power at full activity
+// (pure SRAM density).
+func BankDynamicW() float64 { return BankAreaMM2() * DynSRAMWPerMM2 }
+
+// ChipStaticW returns the always-on leakage of a powered (unparked) chip
+// with the given total Slice and bank counts: every structure leaks whether
+// rented or not.
+func ChipStaticW(slices, banks int) float64 {
+	return float64(slices)*SliceStaticW() + float64(banks)*BankStaticW()
+}
+
+// VCoreDynamicW returns the dynamic power of one active VCore configuration
+// at the given activity factor in [0,1] (values outside are clamped).
+func VCoreDynamicW(slices, cacheKB int, activity float64) float64 {
+	if activity < 0 {
+		activity = 0
+	} else if activity > 1 {
+		activity = 1
+	}
+	banks := float64(cacheKB) / BankKB
+	return activity * (float64(slices)*SliceDynamicW() + banks*BankDynamicW())
+}
+
+// Activity converts a VM's measured IPC on a VCore of the given width into
+// the dynamic activity factor: commit rate relative to the configuration's
+// peak, clamped to [0,1].
+func Activity(ipc float64, slices int) float64 {
+	if slices <= 0 || ipc <= 0 {
+		return 0
+	}
+	a := ipc / (float64(slices) * PeakIPCPerSlice)
+	if a > 1 {
+		return 1
+	}
+	return a
+}

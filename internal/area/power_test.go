@@ -1,0 +1,86 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// The power model is an arithmetic contract on top of the area model: the
+// fleet's Joule accounting (internal/fleet) hand-computes expected energies
+// from these exact formulas, so pin them here against both the closed forms
+// and absolute values (catching silent constant drift).
+
+func TestPowerDerivesFromArea(t *testing.T) {
+	if got, want := SliceStaticW(), SliceAreaMM2()*LeakageWPerMM2; got != want {
+		t.Errorf("SliceStaticW = %v, want %v", got, want)
+	}
+	if got, want := BankStaticW(), BankAreaMM2()*LeakageWPerMM2; got != want {
+		t.Errorf("BankStaticW = %v, want %v", got, want)
+	}
+	wantSliceDyn := SliceAreaMM2() * (SliceSRAMFraction*DynSRAMWPerMM2 + (1-SliceSRAMFraction)*DynLogicWPerMM2)
+	if got := SliceDynamicW(); got != wantSliceDyn {
+		t.Errorf("SliceDynamicW = %v, want %v", got, wantSliceDyn)
+	}
+	if got, want := BankDynamicW(), BankAreaMM2()*DynSRAMWPerMM2; got != want {
+		t.Errorf("BankDynamicW = %v, want %v", got, want)
+	}
+	// The Market2 area identity (one Slice = two banks) carries over to
+	// leakage exactly.
+	if got, want := SliceStaticW(), 2*BankStaticW(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("slice leakage %v != 2x bank leakage %v", got, want/2)
+	}
+}
+
+func TestPowerAbsoluteValues(t *testing.T) {
+	// Anchors at 45 nm: a Slice is ~0.416 mm^2 (area_test.go), so leakage
+	// ~41.6 mW and full-activity dynamic ~102 mW. Tolerances are loose
+	// enough for formula-preserving refactors only.
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("%s = %v, want ~%v", name, got, want)
+		}
+	}
+	approx("SliceStaticW", SliceStaticW(), 0.0416)
+	approx("SliceDynamicW", SliceDynamicW(), 0.1024)
+	approx("BankStaticW", BankStaticW(), 0.0208)
+	approx("BankDynamicW", BankDynamicW(), 0.0166)
+	// The evaluated chip (64 Slices + 128 banks) leaks ~5.3 W.
+	approx("ChipStaticW(64,128)", ChipStaticW(64, 128), 5.32)
+}
+
+func TestVCoreDynamicW(t *testing.T) {
+	// 3 Slices + 256 KB (4 banks) at full activity.
+	want := 3*SliceDynamicW() + 4*BankDynamicW()
+	if got := VCoreDynamicW(3, 256, 1.0); got != want {
+		t.Errorf("VCoreDynamicW(3,256,1) = %v, want %v", got, want)
+	}
+	if got := VCoreDynamicW(3, 256, 0.5); got != 0.5*want {
+		t.Errorf("VCoreDynamicW(3,256,0.5) = %v, want %v", got, 0.5*want)
+	}
+	// Activity clamps.
+	if got := VCoreDynamicW(3, 256, 2.0); got != want {
+		t.Errorf("activity > 1 not clamped: %v != %v", got, want)
+	}
+	if got := VCoreDynamicW(3, 256, -1); got != 0 {
+		t.Errorf("negative activity not clamped: %v", got)
+	}
+}
+
+func TestActivity(t *testing.T) {
+	if got := Activity(0.5, 1); got != 0.5 {
+		t.Errorf("Activity(0.5, 1) = %v", got)
+	}
+	if got := Activity(1.2, 4); got != 0.3 {
+		t.Errorf("Activity(1.2, 4) = %v", got)
+	}
+	if got := Activity(9, 4); got != 1 {
+		t.Errorf("Activity(9, 4) = %v, want clamp to 1", got)
+	}
+	if got := Activity(-1, 4); got != 0 {
+		t.Errorf("Activity(-1, 4) = %v", got)
+	}
+	if got := Activity(1, 0); got != 0 {
+		t.Errorf("Activity(1, 0) = %v", got)
+	}
+}

@@ -1,14 +1,21 @@
 package econ
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
-// Datacenter heterogeneity comparison (§5.9, Fig. 17). A datacenter of
-// fixed total area is split between "big" cores (the configuration where
-// gobmk peaks under Utility1: 3 Slices + 256 KB) and "small" cores (where
-// hmmer peaks: 1 Slice + 0 KB). Jobs arrive in a given application mix and
-// are assigned to core types to maximize total utility; the experiment
-// shows that the optimal big:small area split moves with the application
-// mix, so no static heterogeneous mix serves all mixes well.
+// Datacenter heterogeneity comparison (§5.9, Fig. 17), generalized. The
+// paper evaluates a datacenter of fixed total area split between "big" cores
+// (the configuration where gobmk peaks under Utility2: 3 Slices + 256 KB)
+// and "small" cores (where hmmer peaks: 1 Slice + 0 KB). Jobs arrive in a
+// given application mix and are assigned to core types to maximize total
+// utility; the experiment shows that the optimal split moves with the
+// application mix, so no static heterogeneous mix serves all mixes well.
+// FleetMix extends the construction from the hard-coded big/small pair to K
+// arbitrary core types and J job classes — the fleet simulator's
+// heterogeneous-datacenter planning input — and DatacenterMix is the K=2
+// special case, kept byte-identical to its original arithmetic.
 
 // CoreType is one fixed core flavour a heterogeneous datacenter builds.
 type CoreType struct {
@@ -28,40 +35,41 @@ type MixPoint struct {
 	Utility     float64 // total utility per unit area
 }
 
-// DatacenterMix sweeps big-core area fraction for each application mix.
-// benchA/benchB supply each benchmark's measured performance on both core
-// types. Jobs are infinitely divisible (a large population) and each core
-// runs one job; assignment maximizes total P^k-per-area utility (Utility-k
-// under Market2 semantics; the paper uses k=1, and on this substrate's
-// compressed performance spreads k=2 recovers the same qualitative
-// behaviour - see EXPERIMENTS.md).
-func DatacenterMix(gA, gB Grid, big, small CoreType, k int, bigFracs, appFracs []float64) ([]MixPoint, error) {
-	perf := func(g Grid, ct CoreType) (float64, error) {
-		p, ok := g[ct.Cfg]
-		if !ok {
-			return 0, fmt.Errorf("econ: no measurement at %v", ct.Cfg)
-		}
-		return p, nil
-	}
-	pAbig, err := perf(gA, big)
-	if err != nil {
-		return nil, err
-	}
-	pAsmall, err := perf(gA, small)
-	if err != nil {
-		return nil, err
-	}
-	pBbig, err := perf(gB, big)
-	if err != nil {
-		return nil, err
-	}
-	pBsmall, err := perf(gB, small)
-	if err != nil {
-		return nil, err
+// FleetPoint is one generalized sample: an area share per core type, a job
+// fraction per class, and the resulting utility per unit area.
+type FleetPoint struct {
+	Shares   []float64 // area share per core type, in input type order
+	JobFracs []float64 // job fraction per class, in input class order
+	Utility  float64   // total utility per unit area
+}
+
+// fleetTotalArea is the fixed datacenter area budget (abstract units; only
+// per-area utilities matter downstream).
+const fleetTotalArea = 1000.0
+
+// FleetMix generalizes DatacenterMix to K core types and J job classes:
+// grids[j] holds class j's measured performance, types the core flavours,
+// shares the area-share vectors to evaluate (each of length K, summing to 1)
+// and mixes the job-fraction vectors (each of length J, summing to 1). For
+// every (mix, share) pair — mixes outer, shares inner — the datacenter
+// builds share[t]*totalArea/area[t] cores of each type, jobs fill all cores
+// (one job per core, infinitely divisible populations), and assignment is by
+// comparative advantage: classes ordered by their powed performance ratio
+// between the largest- and smallest-area type fill the types in descending
+// area order. For two types this greedy is the classic exchange-argument
+// optimum and reproduces DatacenterMix bit for bit; for K > 2 it is a
+// heuristic for the underlying transportation problem — good enough for the
+// planning sweeps, and the fleet simulator measures actual placements anyway.
+func FleetMix(grids []Grid, types []CoreType, k int, shares, mixes [][]float64) ([]FleetPoint, error) {
+	nt, nj := len(types), len(grids)
+	if nt == 0 || nj == 0 {
+		return nil, fmt.Errorf("econ: fleet mix needs at least one core type and one job class")
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("econ: utility exponent %d < 1", k)
 	}
+	// Powed performance matrix p[j][t] (pow applied upfront, as the original
+	// arithmetic does, so advantages compare powed values).
 	pow := func(p float64) float64 {
 		out := p
 		for i := 1; i < k; i++ {
@@ -69,46 +77,120 @@ func DatacenterMix(gA, gB Grid, big, small CoreType, k int, bigFracs, appFracs [
 		}
 		return out
 	}
-	pAbig, pAsmall, pBbig, pBsmall = pow(pAbig), pow(pAsmall), pow(pBbig), pow(pBsmall)
-	areaBig := Market2().Cost(big.Cfg)
-	areaSmall := Market2().Cost(small.Cfg)
-	const totalArea = 1000.0
-	var out []MixPoint
-	for _, af := range appFracs {
-		for _, bf := range bigFracs {
-			nBig := bf * totalArea / areaBig
-			nSmall := (1 - bf) * totalArea / areaSmall
-			jobs := nBig + nSmall
-			jobsA := af * jobs
-			jobsB := jobs - jobsA
-			// Assign job classes to core types by comparative advantage:
-			// put A on big cores first when A benefits more from big cores
-			// than B does, otherwise B first.
+	p := make([][]float64, nj)
+	for j, g := range grids {
+		p[j] = make([]float64, nt)
+		for t, ct := range types {
+			perf, ok := g[ct.Cfg]
+			if !ok {
+				return nil, fmt.Errorf("econ: no measurement at %v", ct.Cfg)
+			}
+			p[j][t] = pow(perf)
+		}
+	}
+	area := make([]float64, nt)
+	for t, ct := range types {
+		area[t] = Market2().Cost(ct.Cfg)
+	}
+	// Types in descending area order (stable: ties keep input order); the
+	// greedy fills big cores first.
+	tOrder := make([]int, nt)
+	for t := range tOrder {
+		tOrder[t] = t
+	}
+	sort.SliceStable(tOrder, func(a, b int) bool { return area[tOrder[a]] > area[tOrder[b]] })
+	// Classes in descending comparative advantage — performance ratio between
+	// the biggest and smallest type (stable: equal advantages keep input
+	// order, matching the original advA >= advB tie).
+	biggest, smallest := tOrder[0], tOrder[nt-1]
+	adv := make([]float64, nj)
+	for j := range adv {
+		adv[j] = p[j][biggest] / p[j][smallest]
+	}
+	jOrder := make([]int, nj)
+	for j := range jOrder {
+		jOrder[j] = j
+	}
+	sort.SliceStable(jOrder, func(a, b int) bool { return adv[jOrder[a]] > adv[jOrder[b]] })
+
+	cores := make([]float64, nt) // cores built per type, reused per point
+	left := make([]float64, nt)  // unfilled cores per type during assignment
+	var out []FleetPoint
+	for _, mix := range mixes {
+		if len(mix) != nj {
+			return nil, fmt.Errorf("econ: mix vector has %d classes, want %d", len(mix), nj)
+		}
+		for _, share := range shares {
+			if len(share) != nt {
+				return nil, fmt.Errorf("econ: share vector has %d types, want %d", len(share), nt)
+			}
+			jobs := 0.0
+			for _, t := range tOrder {
+				cores[t] = share[t] * fleetTotalArea / area[t]
+				jobs += cores[t]
+			}
+			// Job counts per class: all but the last take their fraction, the
+			// last absorbs the remainder (jobsB = jobs - jobsA originally).
+			classJobs := make([]float64, nj)
+			rest := jobs
+			for j := 0; j < nj-1; j++ {
+				classJobs[j] = mix[j] * jobs
+				rest -= classJobs[j]
+			}
+			classJobs[nj-1] = rest
+			copy(left, cores)
 			var util float64
-			advA := pAbig / pAsmall
-			advB := pBbig / pBsmall
-			bigLeft, smallLeft := nBig, nSmall
-			place := func(jobs float64, pBig, pSmall float64) float64 {
-				onBig := jobs
-				if onBig > bigLeft {
-					onBig = bigLeft
+			for _, j := range jOrder {
+				remaining := classJobs[j]
+				classUtil := 0.0
+				for _, t := range tOrder {
+					on := remaining
+					if on > left[t] {
+						on = left[t]
+					}
+					left[t] -= on
+					remaining -= on
+					classUtil += on * p[j][t]
 				}
-				bigLeft -= onBig
-				onSmall := jobs - onBig
-				if onSmall > smallLeft {
-					onSmall = smallLeft
-				}
-				smallLeft -= onSmall
-				return onBig*pBig + onSmall*pSmall
+				util += classUtil
 			}
-			if advA >= advB {
-				util = place(jobsA, pAbig, pAsmall)
-				util += place(jobsB, pBbig, pBsmall)
-			} else {
-				util = place(jobsB, pBbig, pBsmall)
-				util += place(jobsA, pAbig, pAsmall)
-			}
-			out = append(out, MixPoint{BigAreaFrac: bf, AppFracA: af, Utility: util / totalArea})
+			out = append(out, FleetPoint{
+				Shares:   append([]float64(nil), share...),
+				JobFracs: append([]float64(nil), mix...),
+				Utility:  util / fleetTotalArea,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DatacenterMix sweeps big-core area fraction for each application mix.
+// benchA/benchB supply each benchmark's measured performance on both core
+// types. Jobs are infinitely divisible (a large population) and each core
+// runs one job; assignment maximizes total P^k-per-area utility (Utility-k
+// under Market2 semantics; the paper uses k=1, and on this substrate's
+// compressed performance spreads k=2 recovers the same qualitative
+// behaviour - see EXPERIMENTS.md). It is FleetMix at K=2 (types big, small;
+// classes A, B), byte-identical to the original two-type arithmetic.
+func DatacenterMix(gA, gB Grid, big, small CoreType, k int, bigFracs, appFracs []float64) ([]MixPoint, error) {
+	shares := make([][]float64, len(bigFracs))
+	for i, bf := range bigFracs {
+		shares[i] = []float64{bf, 1 - bf}
+	}
+	mixes := make([][]float64, len(appFracs))
+	for i, af := range appFracs {
+		mixes[i] = []float64{af, 1 - af}
+	}
+	pts, err := FleetMix([]Grid{gA, gB}, []CoreType{big, small}, k, shares, mixes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MixPoint, len(pts))
+	for i, fp := range pts {
+		out[i] = MixPoint{
+			BigAreaFrac: bigFracs[i%len(bigFracs)],
+			AppFracA:    appFracs[i/len(bigFracs)],
+			Utility:     fp.Utility,
 		}
 	}
 	return out, nil
@@ -127,4 +209,55 @@ func OptimalBigFrac(points []MixPoint) map[float64]float64 {
 		}
 	}
 	return best
+}
+
+// OptimalShares reduces FleetMix output to, per job mix (in first-seen
+// order), the utility-maximizing share vector — the K-type counterpart of
+// OptimalBigFrac. Ties keep the earlier (lexicographically smaller, given
+// ShareGrid order) share vector.
+func OptimalShares(points []FleetPoint) []FleetPoint {
+	var out []FleetPoint
+	idx := make(map[string]int)
+	for _, p := range points {
+		k := fmt.Sprint(p.JobFracs)
+		if i, ok := idx[k]; ok {
+			if p.Utility > out[i].Utility {
+				out[i] = p
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, p)
+	}
+	return out
+}
+
+// ShareGrid enumerates area-share vectors over the K-type simplex at
+// granularity 1/steps, in deterministic lexicographic order: every vector
+// (i_1/steps, ..., i_K/steps) with the i's non-negative integers summing to
+// steps. K=2, steps=8 yields the nine Fig. 17 big-core fractions.
+func ShareGrid(k, steps int) [][]float64 {
+	if k <= 0 || steps <= 0 {
+		return nil
+	}
+	var out [][]float64
+	cur := make([]int, k)
+	var rec func(pos, rest int)
+	rec = func(pos, rest int) {
+		if pos == k-1 {
+			cur[pos] = rest
+			v := make([]float64, k)
+			for i, c := range cur {
+				v[i] = float64(c) / float64(steps)
+			}
+			out = append(out, v)
+			return
+		}
+		for c := 0; c <= rest; c++ {
+			cur[pos] = c
+			rec(pos+1, rest-c)
+		}
+	}
+	rec(0, steps)
+	return out
 }

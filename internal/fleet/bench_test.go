@@ -1,0 +1,58 @@
+package fleet
+
+import "testing"
+
+// BenchmarkFleet2000x20000 is the acceptance-scale run: 2,000 machines,
+// 20,000 VM lifecycle events, synthetic surfaces. The interesting outputs —
+// wall time, events/s, and the probe economy against the naive per-bid grid
+// sweep — land in BENCH_ssim.json's "fleet" block via `make bench-fleet`.
+func BenchmarkFleet2000x20000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := New(Params{
+			Machines:       2000,
+			Shards:         4,
+			Events:         20000,
+			ArrivalsPerSec: 500,
+			MeanLifetime:   10,
+			Seed:           7,
+			Benches:        testBenches,
+		}, SyntheticProber{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Events), "events")
+			b.ReportMetric(float64(rep.UniqueProbes), "probes")
+		}
+	}
+}
+
+// BenchmarkFleetEpoch measures the steady-state per-epoch cost at modest
+// scale (what an interactive sweep pays).
+func BenchmarkFleetEpoch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := New(testBenchParams(), SyntheticProber{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func testBenchParams() Params {
+	return Params{
+		Machines:       256,
+		Shards:         4,
+		Events:         2000,
+		ArrivalsPerSec: 100,
+		MeanLifetime:   5,
+		Seed:           7,
+		Benches:        testBenches,
+	}
+}

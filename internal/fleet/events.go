@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+)
+
+// The synthetic VM lifecycle stream. Arrivals are a Poisson process
+// (exponential inter-arrival times) and lifetimes are exponential, both
+// drawn from SplitMix64 hashes of (seed, index) — the same seed-derived
+// determinism discipline as internal/sim's sample schedule, and for the same
+// reason: no math/rand, no global state, so the stream is a pure function of
+// Params and identical across shard counts, platforms, and replays.
+
+// event is one VM lifecycle event in the global (time, seq) total order.
+type event struct {
+	t      float64
+	seq    int
+	vmID   int
+	arrive bool
+	// Arrival-only payload.
+	bench  string
+	k      int     // utility exponent
+	depart float64 // absolute departure time, if the VM places
+}
+
+// splitmix64 is the SplitMix64 finalizer (see internal/sim/sample.go).
+//
+//ssim:hotpath
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a hash to (0, 1]: never 0, so -ln(u) is finite.
+func unit(h uint64) float64 {
+	return (float64(h>>11) + 1) / (1 << 53)
+}
+
+// eventStream generates arrivals lazily and carries the departures the
+// placement barrier schedules. take returns every event due before a given
+// time in (time, seq) order; the content of the pending-departure set at each
+// barrier is itself deterministic (departures are scheduled only at barriers,
+// in event order), so the whole stream is shard-count-independent.
+type eventStream struct {
+	seed     uint64
+	rate     float64 // arrivals per second
+	life     float64 // mean lifetime seconds
+	benches  []string
+	arrivals int // arrivals still to generate
+	nextIdx  int // index of the next arrival (drives the hash stream)
+	nextAt   float64
+	seq      int
+	pending  []event // scheduled departures, unordered
+	maxT     float64 // latest event time handed out
+}
+
+func newEventStream(seed uint64, rate, life float64, totalEvents int, benches []string) *eventStream {
+	s := &eventStream{
+		seed:     seed,
+		rate:     rate,
+		life:     life,
+		benches:  benches,
+		arrivals: totalEvents / 2,
+	}
+	s.nextAt = s.interarrival(0)
+	return s
+}
+
+// interarrival draws the gap before arrival i.
+func (s *eventStream) interarrival(i int) float64 {
+	h := splitmix64(s.seed ^ splitmix64(uint64(i)*2+1))
+	return -math.Log(unit(h)) / s.rate
+}
+
+// lifetime draws arrival i's VM lifetime.
+func (s *eventStream) lifetime(i int) float64 {
+	h := splitmix64(s.seed ^ splitmix64(uint64(i)*2+2))
+	return -math.Log(unit(h)) * s.life
+}
+
+// shape draws arrival i's benchmark and utility exponent.
+func (s *eventStream) shape(i int) (string, int) {
+	h := splitmix64(s.seed + 0x9e3779b97f4a7c15*uint64(i+1))
+	return s.benches[h%uint64(len(s.benches))], 1 + int((h>>32)%3)
+}
+
+// take returns all events due strictly before t1, sorted by (time, seq).
+func (s *eventStream) take(t1 float64) []event {
+	var out []event
+	for s.arrivals > 0 && s.nextAt < t1 {
+		i := s.nextIdx
+		bench, k := s.shape(i)
+		ev := event{
+			t: s.nextAt, seq: s.seq, vmID: i, arrive: true,
+			bench: bench, k: k, depart: s.nextAt + s.lifetime(i),
+		}
+		out = append(out, ev)
+		s.seq++
+		s.arrivals--
+		s.nextIdx++
+		s.nextAt += s.interarrival(s.nextIdx)
+	}
+	// Collect due departures (scheduled at earlier barriers).
+	kept := s.pending[:0]
+	for _, ev := range s.pending {
+		if ev.t < t1 {
+			out = append(out, ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	s.pending = kept
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].t != out[b].t {
+			return out[a].t < out[b].t
+		}
+		return out[a].seq < out[b].seq
+	})
+	for i := range out {
+		if out[i].t > s.maxT {
+			s.maxT = out[i].t
+		}
+	}
+	return out
+}
+
+// scheduleDeparture registers a placed VM's departure. Called only from the
+// placement barrier, in deterministic event order.
+func (s *eventStream) scheduleDeparture(vmID int, at float64) {
+	s.pending = append(s.pending, event{t: at, seq: s.seq, vmID: vmID})
+	s.seq++
+}
+
+// done reports whether the stream is exhausted.
+func (s *eventStream) done() bool { return s.arrivals == 0 && len(s.pending) == 0 }
+
+// end is the simulated end of the run: the latest event time delivered.
+func (s *eventStream) end() float64 { return s.maxT }

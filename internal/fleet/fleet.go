@@ -1,0 +1,559 @@
+// Package fleet is the sharded, discrete-event datacenter simulator: it
+// places a churning stream of VM bids onto N simulated sharing-architecture
+// chips and accounts power and energy per Slice and L2 bank (ROADMAP item 3;
+// DISSECT-CF is the layered, energy-aware template, "Resource Allocation
+// using Virtual Clusters" the placement/yield objective).
+//
+// Scale is the point, so the loop is built around three performance levers:
+//
+//   - Sharded epochs. Machines are partitioned round-robin across shards;
+//     simulated time advances in fixed epochs. Within an epoch, shards work
+//     in parallel twice — first pricing the epoch's bids, then applying
+//     machine-state changes — with one sequential barrier between them for
+//     placement. The merge discipline is PR 4's quantum barrier transplanted
+//     up a level: everything order-sensitive happens at the barrier in
+//     deterministic (time, sequence) order, everything parallel is
+//     per-machine-private, so 1-shard and k-shard runs are byte-identical by
+//     construction.
+//
+//   - Batched, warm-started pricing. Arrivals in an epoch are grouped by
+//     (benchmark, utility); each group is priced once via a per-shard
+//     market.Engine warm-started from the group's previous-epoch optimum,
+//     and every engine shares one market.SurfaceCache, so a configuration
+//     any shard ever probed is a lock-free hit for all. After the first
+//     epoch a stationary market prices bids with zero new probes — O(probes)
+//     per distinct surface, not O(grid) per bid.
+//
+//   - Wholesale idle fast-forward. A machine's energy integral is advanced
+//     lazily, only when an event touches it (or once at the end of the run):
+//     power is piecewise-constant between occupancy changes, so idle spans
+//     cost one multiply instead of per-epoch work. Two thousand idle
+//     machines cost nothing per epoch.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sharing/internal/econ"
+	"sharing/internal/market"
+)
+
+// Objective selects what the scheduler maximizes when pricing bids.
+type Objective int
+
+const (
+	// ObjUtility maximizes utility at market prices (the paper's
+	// utility-per-area economics under Market2).
+	ObjUtility Objective = iota
+	// ObjUtilityPerWatt maximizes utility per watt of VCore power — the
+	// provider optimizing $/joule instead of $/area.
+	ObjUtilityPerWatt
+)
+
+func (o Objective) String() string {
+	if o == ObjUtilityPerWatt {
+		return "utility/W"
+	}
+	return "utility"
+}
+
+// Placement selects the machine-choice policy.
+type Placement int
+
+const (
+	// PlacePacked is best-fit: the fullest machine that still fits, so VMs
+	// consolidate and empty machines stay parked (power-gated).
+	PlacePacked Placement = iota
+	// PlaceSpread is worst-fit: the emptiest machine, the load-balancing
+	// baseline that keeps every chip powered.
+	PlaceSpread
+)
+
+func (p Placement) String() string {
+	if p == PlaceSpread {
+		return "spread"
+	}
+	return "packed"
+}
+
+// Params configures a fleet run.
+type Params struct {
+	// Machines is the number of chips in the fleet.
+	Machines int
+	// Shards is the parallel shard count (1 if 0). Results are byte-identical
+	// for any value; see the determinism differential.
+	Shards int
+	// ChipSlices and ChipBanks are each machine's rentable resources
+	// (the evaluated chip, 64 Slices + 128 banks, if 0).
+	ChipSlices, ChipBanks int
+	// Epoch is the simulated seconds per pricing/placement batch (1.0 if 0).
+	Epoch float64
+	// Events is the total number of VM lifecycle events (arrivals +
+	// departures) to simulate; arrivals stop once half are spent.
+	Events int
+	// ArrivalsPerSec is the mean VM arrival rate (Poisson; 100/s if 0).
+	ArrivalsPerSec float64
+	// MeanLifetime is the mean VM lifetime in seconds (exponential; 60 if 0).
+	MeanLifetime float64
+	// Seed derives the whole synthetic event stream (1 if 0).
+	Seed uint64
+	// Benches are the benchmark names bids draw from (round-robin with the
+	// utility rotation; required).
+	Benches []string
+	// Lattice axes for the pricing searches (experiments.StdSlices/StdCaches
+	// shaped defaults if nil).
+	Slices, CacheKB []int
+	// ProbeBudget bounds probes per search. Defaults to the lattice size,
+	// which disables the exhaustive fallback by construction: a search can
+	// never issue more distinct probes than the lattice holds, so whether a
+	// given search trips the budget can't depend on the engine-local memo
+	// state — the one search path whose outcome would otherwise vary with
+	// the group-to-shard assignment and break cross-shard-count identity.
+	ProbeBudget int
+	// Market is the price vector bids are scored at (Market2 if zero).
+	Market econ.Market
+	// Objective is the pricing objective; Place the machine-choice policy.
+	Objective Objective
+	Place     Placement
+	// AdaptivePrices, when set, ratchets the fleet's price vector each epoch
+	// by utilization excess (the tatonnement step transplanted to fleet
+	// scale), so pricing stays warm-start-driven under drifting prices.
+	AdaptivePrices bool
+}
+
+func (p *Params) defaults() error {
+	if p.Machines <= 0 {
+		return fmt.Errorf("fleet: no machines")
+	}
+	if len(p.Benches) == 0 {
+		return fmt.Errorf("fleet: no benchmarks")
+	}
+	if p.Shards <= 0 {
+		p.Shards = 1
+	}
+	if p.Shards > p.Machines {
+		p.Shards = p.Machines
+	}
+	if p.ChipSlices <= 0 {
+		p.ChipSlices = 64
+	}
+	if p.ChipBanks <= 0 {
+		p.ChipBanks = 128
+	}
+	if p.Epoch <= 0 {
+		p.Epoch = 1.0
+	}
+	if p.Events <= 0 {
+		p.Events = 1000
+	}
+	if p.ArrivalsPerSec <= 0 {
+		p.ArrivalsPerSec = 100
+	}
+	if p.MeanLifetime <= 0 {
+		p.MeanLifetime = 60
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if len(p.Slices) == 0 {
+		p.Slices = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	if len(p.CacheKB) == 0 {
+		p.CacheKB = []int{0, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	}
+	if p.Market.SliceCost == 0 && p.Market.BankCost == 0 {
+		p.Market = econ.Market2()
+	}
+	if p.ProbeBudget <= 0 {
+		p.ProbeBudget = len(p.Slices) * len(p.CacheKB)
+	}
+	return nil
+}
+
+// VM is one resident virtual machine.
+type VM struct {
+	ID      int
+	Bench   string
+	K       int // utility exponent
+	Cfg     econ.Config
+	Perf    float64 // measured IPC at Cfg
+	Utility float64 // objective score at admission
+	Machine int
+	Arrive  float64
+	Depart  float64
+}
+
+// Fleet is one datacenter simulation. Build with New, run with Run.
+type Fleet struct {
+	p      Params
+	cache  *market.SurfaceCache
+	shards []*shard
+	mach   []machine
+	place  *placer
+
+	// Epoch-synchronized pricing state: per (bench, K) warm starts, updated
+	// only at barriers in deterministic group order.
+	warm map[groupKey]econ.Config
+
+	events *eventStream
+	live   map[int]*VM // by VM ID
+	prices econ.Market
+
+	rep Report
+}
+
+// groupKey identifies one pricing group: all bids in an epoch that share a
+// surface and utility are priced once.
+type groupKey struct {
+	bench string
+	k     int
+}
+
+// shard owns a machine partition and a pricing engine.
+type shard struct {
+	id     int
+	engine *market.Engine
+	// machines this shard owns (machine ID m belongs to shard m % Shards).
+	machines []int
+	// scratch: per-epoch apply queue, indexed per machine at the barrier.
+	ops []machineOp
+	// energy totals for Report.PerShard, summed in within-shard machine
+	// order at finalize.
+	energy EnergyBreakdown
+	err    error
+}
+
+// machineOp is one state change applied to a machine during the parallel
+// apply phase.
+type machineOp struct {
+	t      float64
+	seq    int
+	vmID   int
+	arrive bool // false = departure
+}
+
+// New builds a fleet over the given prober (simulator-backed or synthetic).
+func New(p Params, prober market.Prober) (*Fleet, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	cache, err := market.NewSurfaceCache(prober)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		p:      p,
+		cache:  cache,
+		mach:   make([]machine, p.Machines),
+		warm:   make(map[groupKey]econ.Config),
+		live:   make(map[int]*VM),
+		prices: p.Market,
+	}
+	f.place = newPlacer(p.Machines, p.ChipSlices, p.ChipBanks, p.Place)
+	for i := range f.mach {
+		f.mach[i].init(p.ChipSlices, p.ChipBanks)
+	}
+	f.shards = make([]*shard, p.Shards)
+	for s := range f.shards {
+		e, err := market.New(market.Params{
+			Slices:      p.Slices,
+			CacheKB:     p.CacheKB,
+			ProbeBudget: p.ProbeBudget,
+			Supply:      econ.Supply{Slices: p.ChipSlices, Banks: p.ChipBanks},
+			Surfaces:    cache,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		f.shards[s] = &shard{id: s, engine: e}
+	}
+	for m := 0; m < p.Machines; m++ {
+		sh := f.shards[m%p.Shards]
+		sh.machines = append(sh.machines, m)
+	}
+	f.events = newEventStream(p.Seed, p.ArrivalsPerSec, p.MeanLifetime, p.Events, p.Benches)
+	return f, nil
+}
+
+// objective returns the pricing objective for utility u at prices m, or nil
+// for the default utility objective.
+func (f *Fleet) objective(u econ.Utility, m econ.Market) econ.Objective {
+	if f.p.Objective != ObjUtilityPerWatt {
+		return nil
+	}
+	return func(perf float64, cfg econ.Config) float64 {
+		w := vcorePowerW(cfg, perf)
+		if w <= 0 {
+			return 0
+		}
+		return u.Value(m, perf, cfg) / w
+	}
+}
+
+// Run executes the simulation to completion and returns the report. A Fleet
+// is single-use.
+func (f *Fleet) Run() (*Report, error) {
+	epoch := 0
+	for !f.events.done() {
+		t0 := float64(epoch) * f.p.Epoch
+		t1 := t0 + f.p.Epoch
+		evs := f.events.take(t1)
+		epoch++
+		if len(evs) == 0 {
+			continue
+		}
+		groups := f.groupBids(evs)
+		if err := f.priceGroups(groups); err != nil {
+			return nil, err
+		}
+		ops := f.placeEvents(evs, groups)
+		if err := f.applyOps(ops); err != nil {
+			return nil, err
+		}
+		if f.p.AdaptivePrices {
+			f.adjustPrices(t1)
+		}
+		f.rep.Epochs++
+	}
+	f.finalize()
+	return &f.rep, nil
+}
+
+// groupBids collects the epoch's arrival bids into deterministic pricing
+// groups (sorted by bench, then K).
+func (f *Fleet) groupBids(evs []event) []pricingGroup {
+	seen := make(map[groupKey]int)
+	var groups []pricingGroup
+	for i := range evs {
+		ev := &evs[i]
+		if !ev.arrive {
+			continue
+		}
+		gk := groupKey{bench: ev.bench, k: ev.k}
+		if _, ok := seen[gk]; !ok {
+			seen[gk] = len(groups)
+			groups = append(groups, pricingGroup{key: gk})
+		}
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		ga, gb := groups[a].key, groups[b].key
+		if ga.bench != gb.bench {
+			return ga.bench < gb.bench
+		}
+		return ga.k < gb.k
+	})
+	return groups
+}
+
+// pricingGroup is one (bench, utility) group priced once per epoch.
+type pricingGroup struct {
+	key groupKey
+	bid market.BidResult
+}
+
+// priceGroups prices every group, fanning groups across shards in parallel.
+// Each search is a pure function of (surface, prices, warm start, objective)
+// — PriceBidAt never touches engine-local warm state — so the outcome is
+// independent of the group-to-shard assignment, and the shared SurfaceCache
+// collapses duplicate probes across shards.
+func (f *Fleet) priceGroups(groups []pricingGroup) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	for s := range f.shards {
+		sh := f.shards[s]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := sh.id; gi < len(groups); gi += len(f.shards) {
+				g := &groups[gi]
+				u := econ.Utility{K: g.key.k, Budget: econ.DefaultBudget}
+				start := f.warm[g.key] // zero Config on cold start: lattice midpoint
+				bid, err := sh.engine.PriceBidAt(g.key.bench, u, f.prices, start, f.objective(u, f.prices))
+				if err != nil {
+					sh.err = err
+					return
+				}
+				g.bid = bid
+			}
+		}()
+	}
+	wg.Wait()
+	for _, sh := range f.shards {
+		if sh.err != nil {
+			return sh.err
+		}
+	}
+	// Barrier: commit warm starts in deterministic group order.
+	for i := range groups {
+		f.warm[groups[i].key] = groups[i].bid.Config
+		f.rep.Searches++
+	}
+	return nil
+}
+
+// placeEvents runs the sequential placement barrier: events in (time, seq)
+// order against global machine capacity, emitting per-machine ops for the
+// parallel apply phase. Only integer capacity bookkeeping happens here; the
+// float energy integrals run shard-parallel in applyOps.
+func (f *Fleet) placeEvents(evs []event, groups []pricingGroup) []machineOp {
+	byKey := make(map[groupKey]*pricingGroup, len(groups))
+	for i := range groups {
+		byKey[groups[i].key] = &groups[i]
+	}
+	ops := make([]machineOp, 0, len(evs))
+	for i := range evs {
+		ev := &evs[i]
+		if ev.arrive {
+			g := byKey[groupKey{bench: ev.bench, k: ev.k}]
+			cfg := g.bid.Config
+			banks := cfg.Banks()
+			m := f.place.pick(cfg.Slices, banks)
+			if m < 0 {
+				f.rep.Rejected++
+				continue
+			}
+			f.place.alloc(m, cfg.Slices, banks)
+			vm := &VM{
+				ID: ev.vmID, Bench: ev.bench, K: ev.k,
+				Cfg: cfg, Perf: g.bid.Perf, Utility: g.bid.Utility,
+				Machine: m, Arrive: ev.t, Depart: ev.depart,
+			}
+			f.live[vm.ID] = vm
+			f.events.scheduleDeparture(ev.vmID, ev.depart)
+			f.rep.Placed++
+			f.rep.UtilityAdmitted += g.bid.Utility
+			ops = append(ops, machineOp{t: ev.t, seq: ev.seq, vmID: ev.vmID, arrive: true})
+		} else {
+			vm, ok := f.live[ev.vmID]
+			if !ok {
+				continue // the arrival was rejected
+			}
+			f.place.free(vm.Machine, vm.Cfg.Slices, vm.Cfg.Banks())
+			f.rep.Departed++
+			ops = append(ops, machineOp{t: ev.t, seq: ev.seq, vmID: ev.vmID})
+		}
+	}
+	return ops
+}
+
+// applyOps distributes the barrier's ops to their owning shards and applies
+// them in parallel: every op touches exactly one machine, machines belong to
+// exactly one shard, and each shard applies its ops in the barrier's
+// (time, seq) order — so the parallel apply is trivially deterministic.
+// Untouched machines are not visited at all (idle fast-forward).
+func (f *Fleet) applyOps(ops []machineOp) error {
+	for s := range f.shards {
+		f.shards[s].ops = f.shards[s].ops[:0]
+	}
+	for _, op := range ops {
+		vm := f.live[op.vmID]
+		sh := f.shards[vm.Machine%len(f.shards)]
+		sh.ops = append(sh.ops, op)
+	}
+	var wg sync.WaitGroup
+	for s := range f.shards {
+		sh := f.shards[s]
+		if len(sh.ops) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, op := range sh.ops {
+				vm := f.live[op.vmID]
+				m := &f.mach[vm.Machine]
+				if op.arrive {
+					m.admit(op.t, vm)
+				} else {
+					m.evict(op.t, vm)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Departed VMs leave the live set only after the parallel phase (the
+	// apply goroutines read f.live; the map must not mutate under them).
+	for _, op := range ops {
+		if !op.arrive {
+			delete(f.live, op.vmID)
+		}
+	}
+	return nil
+}
+
+// adjustPrices ratchets the fleet price vector by utilization excess over a
+// target band — ClearMarket's asymmetric step at fleet granularity. It runs
+// at the barrier, from deterministic aggregate state.
+func (f *Fleet) adjustPrices(now float64) {
+	totSlices := float64(f.p.Machines * f.p.ChipSlices)
+	totBanks := float64(f.p.Machines * f.p.ChipBanks)
+	const target = 0.75 // demand above this utilization raises prices
+	exS := float64(f.place.usedSlices)/(totSlices*target) - 1
+	exB := float64(f.place.usedBanks)/(totBanks*target) - 1
+	const step = 0.1
+	adjust := func(price, excess float64) float64 {
+		if excess > 0 {
+			price *= 1 + step*excess
+		} else {
+			price *= 1 + 0.25*step*excess
+		}
+		if price < 0.001 {
+			price = 0.001
+		}
+		return price
+	}
+	f.prices.SliceCost = adjust(f.prices.SliceCost, exS)
+	f.prices.BankCost = adjust(f.prices.BankCost, exB)
+	f.rep.FinalPrices = f.prices
+}
+
+// finalize fast-forwards every machine's energy integral to the stream end
+// and reduces the totals in deterministic machine-ID order.
+func (f *Fleet) finalize() {
+	end := f.events.end()
+	var wg sync.WaitGroup
+	for s := range f.shards {
+		sh := f.shards[s]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, mi := range sh.machines {
+				f.mach[mi].accrue(end)
+			}
+			var e EnergyBreakdown
+			for _, mi := range sh.machines {
+				e.add(&f.mach[mi].energy)
+			}
+			sh.energy = e
+		}()
+	}
+	wg.Wait()
+	// The identity-relevant total sums per-machine energies in global
+	// machine-ID order: float addition is not associative, so summing
+	// shard subtotals would leak the shard count into the bytes.
+	f.rep.MachineEnergy = make([]float64, len(f.mach))
+	for mi := range f.mach {
+		f.rep.Energy.add(&f.mach[mi].energy)
+		f.rep.MachineEnergy[mi] = f.mach[mi].energy.TotalJ()
+		if f.mach[mi].everUsed {
+			f.rep.MachinesUsed++
+		}
+	}
+	f.rep.PerShard = make([]EnergyBreakdown, len(f.shards))
+	for s, sh := range f.shards {
+		f.rep.PerShard[s] = sh.energy
+	}
+	f.rep.Machines = f.p.Machines
+	f.rep.Shards = len(f.shards)
+	f.rep.Events = f.rep.Placed + f.rep.Rejected + f.rep.Departed
+	f.rep.SimSeconds = end
+	f.rep.UniqueProbes = f.cache.Unique()
+	f.rep.Surfaces = f.cache.NumSurfaces()
+	f.rep.GridProbes = f.rep.Surfaces * len(f.p.Slices) * len(f.p.CacheKB)
+	f.rep.NaiveGridProbes = (f.rep.Placed + f.rep.Rejected) * len(f.p.Slices) * len(f.p.CacheKB)
+	f.rep.FinalPrices = f.prices
+}

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"sharing/internal/area"
+	"sharing/internal/econ"
+)
+
+var testBenches = []string{"astar", "bzip2", "gobmk", "hmmer", "mcf", "sjeng"}
+
+func testParams(shards int) Params {
+	return Params{
+		Machines:       64,
+		Shards:         shards,
+		Events:         2000,
+		ArrivalsPerSec: 50,
+		MeanLifetime:   2,
+		Seed:           7,
+		Benches:        testBenches,
+	}
+}
+
+func runFleet(t *testing.T, p Params) *Report {
+	t.Helper()
+	f, err := New(p, SyntheticProber{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFleetDeterminismAcrossShards is the differential the whole sharding
+// design answers to: the same fleet run at 1, 2, 4, and 8 shards must
+// produce byte-identical fingerprints — placements, counts, utilities,
+// energy totals, per-machine energies, probe economy, prices — under every
+// policy combination. The package's tests run under -race in CI, so this
+// also exercises the shared SurfaceCache and parallel phases for races.
+func TestFleetDeterminismAcrossShards(t *testing.T) {
+	variants := []struct {
+		name string
+		mod  func(*Params)
+	}{
+		{"base", func(p *Params) {}},
+		{"perwatt-adaptive", func(p *Params) {
+			p.Objective = ObjUtilityPerWatt
+			p.AdaptivePrices = true
+		}},
+		{"spread", func(p *Params) { p.Place = PlaceSpread }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			base := testParams(1)
+			v.mod(&base)
+			want := runFleet(t, base).Fingerprint()
+			for _, shards := range []int{2, 4, 8} {
+				p := testParams(shards)
+				v.mod(&p)
+				got := runFleet(t, p).Fingerprint()
+				if got != want {
+					t.Errorf("%d shards diverge from 1 shard:\n--- 1 shard\n%s--- %d shards\n%s",
+						shards, want, shards, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMachineEnergyHandComputed pins the energy integration against a
+// by-hand trace: park 10 s, host one VCore (4 Slices + 256 KB at activity
+// 0.5) for 10 s, park 10 s. Every component must match the closed-form
+// integral of the area power model to float precision.
+func TestMachineEnergyHandComputed(t *testing.T) {
+	var m machine
+	m.init(64, 128)
+	vm := &VM{Cfg: econ.Config{Slices: 4, CacheKB: 256}, Perf: 2.0} // activity 2.0/(4*1) = 0.5
+	m.admit(10, vm)
+	m.evict(20, vm)
+	m.accrue(30)
+
+	ssW := 64 * area.SliceStaticW() // chip Slice leakage when on
+	bsW := 128 * area.BankStaticW()
+	sdW := 4 * area.SliceDynamicW() * 0.5 // the VM's 4 Slices at activity 0.5
+	bdW := 4 * area.BankDynamicW() * 0.5  // 256 KB = 4 banks
+
+	want := EnergyBreakdown{
+		// 20 s parked at the ParkedLeakFrac floor + 10 s fully leaking.
+		SliceStaticJ:  area.ParkedLeakFrac*ssW*20 + ssW*10,
+		BankStaticJ:   area.ParkedLeakFrac*bsW*20 + bsW*10,
+		SliceDynamicJ: sdW * 10,
+		BankDynamicJ:  bdW * 10,
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("%s = %v J, hand-computed %v J", name, got, want)
+		}
+	}
+	check("SliceStaticJ", m.energy.SliceStaticJ, want.SliceStaticJ)
+	check("SliceDynamicJ", m.energy.SliceDynamicJ, want.SliceDynamicJ)
+	check("BankStaticJ", m.energy.BankStaticJ, want.BankStaticJ)
+	check("BankDynamicJ", m.energy.BankDynamicJ, want.BankDynamicJ)
+	check("TotalJ", m.energy.TotalJ(),
+		want.SliceStaticJ+want.SliceDynamicJ+want.BankStaticJ+want.BankDynamicJ)
+	if !m.everUsed || m.vms != 0 || m.dynSliceW != 0 || m.dynBankW != 0 {
+		t.Errorf("machine state after evict: vms=%d dynSliceW=%v dynBankW=%v", m.vms, m.dynSliceW, m.dynBankW)
+	}
+}
+
+// TestFleetReportConsistency checks the report's internal arithmetic on a
+// real run: event conservation, energy reduction identities, and the probe
+// economy bounds the acceptance criteria quote.
+func TestFleetReportConsistency(t *testing.T) {
+	rep := runFleet(t, testParams(4))
+	if rep.Events != rep.Placed+rep.Rejected+rep.Departed {
+		t.Errorf("events %d != placed %d + rejected %d + departed %d",
+			rep.Events, rep.Placed, rep.Rejected, rep.Departed)
+	}
+	if rep.Departed != rep.Placed {
+		// The stream drains every scheduled departure before ending.
+		t.Errorf("departed %d != placed %d", rep.Departed, rep.Placed)
+	}
+	var perShard, perMachine float64
+	for _, e := range rep.PerShard {
+		perShard += e.TotalJ()
+	}
+	for _, e := range rep.MachineEnergy {
+		perMachine += e
+	}
+	tot := rep.Energy.TotalJ()
+	if math.Abs(perShard-tot) > 1e-6*tot || math.Abs(perMachine-tot) > 1e-6*tot {
+		t.Errorf("energy reductions disagree: total %v, per-shard %v, per-machine %v", tot, perShard, perMachine)
+	}
+	if rep.UniqueProbes == 0 || rep.UniqueProbes > rep.GridProbes {
+		t.Errorf("unique probes %d outside (0, grid %d]", rep.UniqueProbes, rep.GridProbes)
+	}
+	if rep.NaiveGridProbes < 10*rep.UniqueProbes {
+		t.Errorf("probe economy too weak: %d unique vs %d naive per-bid sweeps",
+			rep.UniqueProbes, rep.NaiveGridProbes)
+	}
+	if rep.UtilityAdmitted <= 0 || rep.MachinesUsed == 0 {
+		t.Errorf("degenerate run: utility %v, machines used %d", rep.UtilityAdmitted, rep.MachinesUsed)
+	}
+}
+
+// TestPlacementPolicies: best-fit consolidates onto fewer machines than
+// worst-fit spreads across, and consolidation must show up as less energy
+// (parked machines draw only the leakage floor).
+func TestPlacementPolicies(t *testing.T) {
+	packed := testParams(2)
+	packed.Machines = 256 // headroom so the policies can actually differ
+	spread := packed
+	spread.Place = PlaceSpread
+	rp := runFleet(t, packed)
+	rs := runFleet(t, spread)
+	if rp.MachinesUsed >= rs.MachinesUsed {
+		t.Errorf("packed used %d machines, spread %d — packing should consolidate",
+			rp.MachinesUsed, rs.MachinesUsed)
+	}
+	if rp.Energy.TotalJ() >= rs.Energy.TotalJ() {
+		t.Errorf("packed energy %.1f J >= spread %.1f J — parking should save leakage",
+			rp.Energy.TotalJ(), rs.Energy.TotalJ())
+	}
+	// Same bid stream, same pricing: the admitted utility must agree.
+	if math.Abs(rp.UtilityAdmitted-rs.UtilityAdmitted) > 1e-9*rp.UtilityAdmitted {
+		t.Errorf("utility differs across placement policies: %v vs %v", rp.UtilityAdmitted, rs.UtilityAdmitted)
+	}
+}
+
+// TestFleetRejectsWhenFull: a one-machine fleet under sustained load must
+// reject bids rather than oversubscribe.
+func TestFleetRejectsWhenFull(t *testing.T) {
+	p := testParams(1)
+	p.Machines = 1
+	p.MeanLifetime = 1000 // effectively no departures during arrivals
+	rep := runFleet(t, p)
+	if rep.Rejected == 0 {
+		t.Fatal("no rejections on a saturated one-machine fleet")
+	}
+	if rep.MachinesUsed != 1 {
+		t.Fatalf("machines used = %d, want 1", rep.MachinesUsed)
+	}
+}
+
+// TestEventStreamDeterministic: the synthetic stream is a pure function of
+// its parameters — identical replay, seed sensitivity, ordering, and counts.
+func TestEventStreamDeterministic(t *testing.T) {
+	gen := func(seed uint64) []event {
+		s := newEventStream(seed, 100, 1, 400, testBenches)
+		var out []event
+		for i := 1.0; !s.done() && i < 1000; i++ {
+			out = append(out, s.take(i)...)
+		}
+		return out
+	}
+	a, b := gen(7), gen(7)
+	if len(a) != 200 {
+		t.Fatalf("%d arrivals, want 200", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := gen(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 generate identical streams")
+	}
+	last := -1.0
+	for i, ev := range a {
+		if ev.t < last {
+			t.Fatalf("event %d out of order: %v after %v", i, ev.t, last)
+		}
+		last = ev.t
+		if ev.k < 1 || ev.k > 3 {
+			t.Fatalf("event %d: utility exponent %d", i, ev.k)
+		}
+	}
+}
+
+// TestAdaptivePricesMove: under sustained load the ratchet must move prices
+// off the initial vector, deterministically.
+func TestAdaptivePricesMove(t *testing.T) {
+	p := testParams(2)
+	p.Machines = 4 // high utilization so the ratchet engages upward
+	p.AdaptivePrices = true
+	p.MeanLifetime = 50
+	rep := runFleet(t, p)
+	if rep.FinalPrices == econ.Market2() {
+		t.Fatalf("adaptive prices never moved: %+v", rep.FinalPrices)
+	}
+}
+
+// TestParamValidation covers New's error paths.
+func TestParamValidation(t *testing.T) {
+	if _, err := New(Params{Benches: testBenches}, SyntheticProber{}); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := New(Params{Machines: 4}, SyntheticProber{}); err == nil {
+		t.Error("no benchmarks accepted")
+	}
+}

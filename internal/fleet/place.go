@@ -1,0 +1,97 @@
+package fleet
+
+import "sort"
+
+// placer is the fleet's machine-choice structure: a bucket ladder indexed by
+// free Slices, each bucket holding its machine IDs in ascending order. pick
+// walks the ladder from the tightest viable bucket (best-fit/"packed") or
+// the loosest (worst-fit/"spread"); within a bucket the lowest machine ID
+// with enough free banks wins. Everything is integer state mutated only in
+// the sequential placement barrier, so placement is deterministic by
+// construction.
+type placer struct {
+	policy     Placement
+	chipSlices int
+	freeS      []int   // free Slices per machine
+	freeB      []int   // free banks per machine
+	buckets    [][]int // machine IDs by free-Slice count, each ascending
+	usedSlices int
+	usedBanks  int
+}
+
+func newPlacer(machines, chipSlices, chipBanks int, policy Placement) *placer {
+	p := &placer{
+		policy:     policy,
+		chipSlices: chipSlices,
+		freeS:      make([]int, machines),
+		freeB:      make([]int, machines),
+		buckets:    make([][]int, chipSlices+1),
+	}
+	all := make([]int, machines)
+	for m := range all {
+		all[m] = m
+		p.freeS[m] = chipSlices
+		p.freeB[m] = chipBanks
+	}
+	p.buckets[chipSlices] = all
+	return p
+}
+
+// pick returns the machine to place a (slices, banks) VCore on, or -1 if
+// nothing fits.
+func (p *placer) pick(slices, banks int) int {
+	if p.policy == PlaceSpread {
+		for f := p.chipSlices; f >= slices; f-- {
+			if m := p.scan(f, banks); m >= 0 {
+				return m
+			}
+		}
+		return -1
+	}
+	for f := slices; f <= p.chipSlices; f++ {
+		if m := p.scan(f, banks); m >= 0 {
+			return m
+		}
+	}
+	return -1
+}
+
+// scan returns the lowest machine ID in bucket f with enough free banks.
+func (p *placer) scan(f, banks int) int {
+	for _, m := range p.buckets[f] {
+		if p.freeB[m] >= banks {
+			return m
+		}
+	}
+	return -1
+}
+
+// alloc commits a placement on machine m.
+func (p *placer) alloc(m, slices, banks int) {
+	p.move(m, p.freeS[m]-slices)
+	p.freeB[m] -= banks
+	p.usedSlices += slices
+	p.usedBanks += banks
+}
+
+// free releases a departure's resources on machine m.
+func (p *placer) free(m, slices, banks int) {
+	p.move(m, p.freeS[m]+slices)
+	p.freeB[m] += banks
+	p.usedSlices -= slices
+	p.usedBanks -= banks
+}
+
+// move reslots machine m into the bucket for its new free-Slice count.
+func (p *placer) move(m, newFree int) {
+	old := p.buckets[p.freeS[m]]
+	i := sort.SearchInts(old, m)
+	p.buckets[p.freeS[m]] = append(old[:i], old[i+1:]...)
+	b := p.buckets[newFree]
+	j := sort.SearchInts(b, m)
+	b = append(b, 0)
+	copy(b[j+1:], b[j:])
+	b[j] = m
+	p.buckets[newFree] = b
+	p.freeS[m] = newFree
+}

@@ -1,0 +1,33 @@
+package fleet
+
+import (
+	"math"
+
+	"sharing/internal/econ"
+)
+
+// SyntheticProber serves closed-form performance surfaces derived from a
+// SplitMix64 hash of the benchmark name: each name gets a deterministic
+// slice-scaling exponent and cache working-set knee, shaped like the
+// measured SPEC surfaces (diminishing returns on both axes, spanning
+// cache-lovers to slice-lovers). It stands in for the simulator-backed
+// prober in tests, benchmarks, and cmd/fleet -synthetic, where the point is
+// fleet mechanics and probe economy rather than microarchitecture.
+type SyntheticProber struct{}
+
+// Probe implements market.Prober.
+func (SyntheticProber) Probe(bench string, cfg econ.Config) (float64, error) {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(bench); i++ {
+		h = (h ^ uint64(bench[i])) * 1099511628211
+	}
+	h = splitmix64(h)
+	// Surface parameters from independent hash fields.
+	alpha := 0.3 + 0.6*float64(h&0xffff)/0xffff       // slice-scaling exponent
+	knee := 64 + float64((h>>16)&0x7ff)               // cache knee in KB
+	boost := 0.2 + 1.4*float64((h>>32)&0xffff)/0xffff // peak cache speedup
+	base := 0.25 + 0.5*float64((h>>48)&0x7fff)/0x7fff // 1-Slice no-cache IPC
+	kb := float64(cfg.CacheKB)
+	perf := base * math.Pow(float64(cfg.Slices), alpha) * (1 + boost*kb/(kb+knee))
+	return perf, nil
+}

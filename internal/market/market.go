@@ -64,6 +64,11 @@ type Params struct {
 	// defaults if 0).
 	Tol     float64
 	MaxIter int
+	// Surfaces, when set, routes every probe through a shared SurfaceCache,
+	// so several engines — one per fleet shard — share one probe economy:
+	// a configuration any engine has probed is a lock-free hit for all. The
+	// engine's own prober may then be nil (the cache's prober is used).
+	Surfaces *SurfaceCache
 }
 
 // Stats aggregates the engine's probe economy.
@@ -130,7 +135,7 @@ func (c *customer) BidderName() string { return c.name }
 
 // Respond implements econ.Bidder by incremental search at prices m.
 func (c *customer) Respond(m econ.Market) (econ.Config, float64, float64, error) {
-	res, err := c.e.search(c.surface(), c.util, m, c.last, c.warm)
+	res, err := c.e.search(c.surface(), c.util, m, c.last, c.warm, nil)
 	if err != nil {
 		return econ.Config{}, 0, 0, err
 	}
@@ -176,9 +181,10 @@ type surface struct {
 	haveBest bool
 }
 
-// New builds an Engine over the given lattice and prober.
+// New builds an Engine over the given lattice and prober. With p.Surfaces
+// set, prober may be nil: all probes go through the shared cache.
 func New(p Params, prober Prober) (*Engine, error) {
-	if prober == nil {
+	if prober == nil && p.Surfaces == nil {
 		return nil, fmt.Errorf("market: nil prober")
 	}
 	if len(p.Slices) == 0 || len(p.CacheKB) == 0 {
@@ -203,10 +209,8 @@ func (e *Engine) surfaceFor(k surfaceKey) (*surface, error) {
 	if s, ok := e.surfaces[k]; ok {
 		return s, nil
 	}
-	if k.phase != WholeProgram {
-		if _, ok := e.prober.(PhaseProber); !ok {
-			return nil, fmt.Errorf("market: prober cannot measure phases (bench %s phase %d)", k.bench, k.phase)
-		}
+	if k.phase != WholeProgram && !e.canPhase() {
+		return nil, fmt.Errorf("market: prober cannot measure phases (bench %s phase %d)", k.bench, k.phase)
 	}
 	opt, err := econ.NewOptimizer(e.p.Slices, e.p.CacheKB)
 	if err != nil {
@@ -218,8 +222,21 @@ func (e *Engine) surfaceFor(k surfaceKey) (*surface, error) {
 	return s, nil
 }
 
-// probeFn returns the ProbeFn routing to the right prober method.
+// canPhase reports whether this engine can measure phase surfaces.
+func (e *Engine) canPhase() bool {
+	if e.p.Surfaces != nil {
+		return e.p.Surfaces.phased()
+	}
+	_, ok := e.prober.(PhaseProber)
+	return ok
+}
+
+// probeFn returns the ProbeFn routing to the shared cache or the right
+// prober method.
 func (e *Engine) probeFn(k surfaceKey) econ.ProbeFn {
+	if c := e.p.Surfaces; c != nil {
+		return func(cfg econ.Config) (float64, error) { return c.Probe(k.bench, k.phase, cfg) }
+	}
 	if k.phase == WholeProgram {
 		return func(cfg econ.Config) (float64, error) { return e.prober.Probe(k.bench, cfg) }
 	}
@@ -228,7 +245,9 @@ func (e *Engine) probeFn(k surfaceKey) econ.ProbeFn {
 }
 
 // search runs one warm-started incremental search; the caller holds e.mu.
-func (e *Engine) search(k surfaceKey, u econ.Utility, m econ.Market, start econ.Config, warm bool) (econ.SearchResult, error) {
+// A nil obj scores configurations by utility at prices m; a non-nil obj
+// overrides the objective (the fleet's utility-per-watt scheduling).
+func (e *Engine) search(k surfaceKey, u econ.Utility, m econ.Market, start econ.Config, warm bool, obj econ.Objective) (econ.SearchResult, error) {
 	s, err := e.surfaceFor(k)
 	if err != nil {
 		return econ.SearchResult{}, err
@@ -236,7 +255,9 @@ func (e *Engine) search(k surfaceKey, u econ.Utility, m econ.Market, start econ.
 	if !warm && s.haveBest {
 		start = s.lastBest // neighbor warm start: the surface's last optimum
 	}
-	obj := func(perf float64, cfg econ.Config) float64 { return u.Value(m, perf, cfg) }
+	if obj == nil {
+		obj = func(perf float64, cfg econ.Config) float64 { return u.Value(m, perf, cfg) }
+	}
 	res, err := s.opt.Search(obj, m, start, e.probeFn(k))
 	if err != nil {
 		return econ.SearchResult{}, err
@@ -261,7 +282,7 @@ func (e *Engine) PriceBid(bench string, u econ.Utility, m econ.Market) (BidResul
 	if s, ok := e.surfaces[k]; ok && s.haveBest {
 		warm = true
 	}
-	res, err := e.search(k, u, m, econ.Config{}, false)
+	res, err := e.search(k, u, m, econ.Config{}, false, nil)
 	if err != nil {
 		return BidResult{}, err
 	}
@@ -269,6 +290,32 @@ func (e *Engine) PriceBid(bench string, u econ.Utility, m econ.Market) (BidResul
 	br := BidResult{
 		Config: res.Best, Perf: res.Perf, Utility: res.Score, Cost: cost,
 		Probes: res.Probes, Warm: warm, FellBack: res.FellBack,
+	}
+	if cost > 0 {
+		br.VCores = u.Budget / cost
+	}
+	return br, nil
+}
+
+// PriceBidAt prices one bid from an explicit warm-start configuration with
+// an optional objective override (nil = utility at prices m). Unlike
+// PriceBid it never consults the engine-local "last optimum" state, so the
+// result is a pure function of (surface, prices, start, objective) — the
+// property the fleet simulator relies on to stay byte-identical across shard
+// counts: every shard prices the same bid from the same epoch-synchronized
+// start and must get the same answer regardless of which engine runs it.
+func (e *Engine) PriceBidAt(bench string, u econ.Utility, m econ.Market, start econ.Config, obj econ.Objective) (BidResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := surfaceKey{bench: bench, phase: WholeProgram}
+	res, err := e.search(k, u, m, start, true, obj)
+	if err != nil {
+		return BidResult{}, err
+	}
+	cost := m.Cost(res.Best)
+	br := BidResult{
+		Config: res.Best, Perf: res.Perf, Utility: res.Score, Cost: cost,
+		Probes: res.Probes, Warm: true, FellBack: res.FellBack,
 	}
 	if cost > 0 {
 		br.VCores = u.Budget / cost

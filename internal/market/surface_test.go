@@ -1,0 +1,184 @@
+package market
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sharing/internal/econ"
+)
+
+// atomicProber serves the synthetic surfaces with a race-safe call counter
+// (the plain fakeProber's counter is for single-threaded tests).
+type atomicProber struct {
+	calls atomic.Int64
+}
+
+func (f *atomicProber) Probe(bench string, cfg econ.Config) (float64, error) {
+	fn, ok := benchPerf[bench]
+	if !ok {
+		return 0, fmt.Errorf("no bench %q", bench)
+	}
+	f.calls.Add(1)
+	return fn(cfg), nil
+}
+
+// TestSurfaceCacheSharedAcrossEngines is the shard-sharing contract: many
+// engines over one SurfaceCache, hammered concurrently, must (a) be
+// race-clean (this package runs under -race in make market-smoke), (b) agree
+// bid-for-bid with an unshared engine, and (c) never probe one (surface,
+// configuration) point twice.
+func TestSurfaceCacheSharedAcrossEngines(t *testing.T) {
+	fp := &atomicProber{}
+	cache, err := NewSurfaceCache(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nEngines = 4
+	engines := make([]*Engine, nEngines)
+	for i := range engines {
+		engines[i], err = New(Params{Slices: tSlices, CacheKB: tCaches, Supply: testSupply, Surfaces: cache}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reference: a lone engine with a private prober.
+	ref, _ := newEngine(t)
+
+	benches := []string{"cachey", "slicey", "mixed"}
+	type bidKey struct {
+		bench string
+		k     int
+		mi    int
+	}
+	want := make(map[bidKey]BidResult)
+	for _, b := range benches {
+		for _, u := range econ.Utilities() {
+			for mi, m := range econ.Markets() {
+				br, err := ref.PriceBidAt(b, u, m, econ.Config{}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[bidKey{b, u.K, mi}] = br
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nEngines*len(want))
+	for i := range engines {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			for _, b := range benches {
+				for _, u := range econ.Utilities() {
+					for mi, m := range econ.Markets() {
+						br, err := e.PriceBidAt(b, u, m, econ.Config{}, nil)
+						if err != nil {
+							errs <- err
+							return
+						}
+						w := want[bidKey{b, u.K, mi}]
+						// Probe counts are engine-local (each engine's
+						// optimizer keeps its own memo); everything the
+						// customer sees must match.
+						br.Probes, w.Probes = 0, 0
+						if !reflect.DeepEqual(br, w) {
+							errs <- fmt.Errorf("%s U%d market%d: shared %+v != unshared %+v", b, u.K, mi+1, br, w)
+							return
+						}
+					}
+				}
+			}
+		}(engines[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if cache.Misses() != int64(cache.Unique()) {
+		t.Errorf("misses %d != unique %d: a point was probed twice", cache.Misses(), cache.Unique())
+	}
+	if got := fp.calls.Load(); got != cache.Misses() {
+		t.Errorf("prober calls %d != cache misses %d", got, cache.Misses())
+	}
+	if max := len(benches) * len(tSlices) * len(tCaches); cache.Unique() > max {
+		t.Errorf("unique probes %d > lattice bound %d", cache.Unique(), max)
+	}
+	if cache.NumSurfaces() != len(benches) {
+		t.Errorf("surfaces = %d, want %d", cache.NumSurfaces(), len(benches))
+	}
+}
+
+// TestSurfaceCacheKnown checks the lock-free read-back path.
+func TestSurfaceCacheKnown(t *testing.T) {
+	cache, err := NewSurfaceCache(&atomicProber{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := econ.Config{Slices: 2, CacheKB: 128}
+	if _, ok := cache.Known("cachey", WholeProgram, cfg); ok {
+		t.Fatal("Known hit before any probe")
+	}
+	p, err := cache.Probe("cachey", WholeProgram, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Known("cachey", WholeProgram, cfg)
+	if !ok || got != p {
+		t.Fatalf("Known = (%v, %v), want (%v, true)", got, ok, p)
+	}
+	if cache.Unique() != 1 {
+		t.Fatalf("unique = %d, want 1", cache.Unique())
+	}
+}
+
+// TestSurfaceCachePhaseCapability: a phase probe through a cache over a
+// non-phase prober must fail, and an engine sharing that cache must refuse
+// phase surfaces the same way an unshared engine does.
+func TestSurfaceCachePhaseCapability(t *testing.T) {
+	cache, err := NewSurfaceCache(nonPhaseProber{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Probe("x", 0, econ.Config{Slices: 1}); err == nil {
+		t.Fatal("phase probe through non-phase prober accepted")
+	}
+	e, err := New(Params{Slices: tSlices, CacheKB: tCaches, Supply: testSupply, Surfaces: cache}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Arrive("c1", "x", econ.Utility1()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.SetPhase("c1", 0); err == nil {
+		t.Fatal("phase change through non-phase shared cache accepted")
+	}
+}
+
+// TestPriceBidAtObjectiveOverride: a custom objective (here 1/cost — the
+// cheapest valid configuration) must steer the search.
+func TestPriceBidAtObjectiveOverride(t *testing.T) {
+	e, _ := newEngine(t)
+	m := econ.Market2()
+	frugal := func(perf float64, cfg econ.Config) float64 { return 1 / m.Cost(cfg) }
+	br, err := e.PriceBidAt("slicey", econ.Utility1(), m, econ.Config{}, frugal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := econ.Config{Slices: 1, CacheKB: 0}
+	if br.Config != want {
+		t.Fatalf("frugal objective chose %v, want %v", br.Config, want)
+	}
+}
+
+// TestNewRequiresProberOrCache pins the constructor contract.
+func TestNewRequiresProberOrCache(t *testing.T) {
+	if _, err := New(Params{Slices: tSlices, CacheKB: tCaches}, nil); err == nil {
+		t.Fatal("nil prober without a shared cache accepted")
+	}
+}
