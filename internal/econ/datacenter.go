@@ -2,6 +2,7 @@ package econ
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -105,7 +106,20 @@ func FleetMix(grids []Grid, types []CoreType, k int, shares, mixes [][]float64) 
 	biggest, smallest := tOrder[0], tOrder[nt-1]
 	adv := make([]float64, nj)
 	for j := range adv {
-		adv[j] = p[j][biggest] / p[j][smallest]
+		switch {
+		case p[j][smallest] > 0:
+			adv[j] = p[j][biggest] / p[j][smallest]
+		case p[j][biggest] > 0:
+			// Zero measured perf on the smallest type only: maximal advantage,
+			// deterministically (a raw divide would also give +Inf, but keep
+			// the degenerate cases on one explicit path).
+			adv[j] = math.Inf(1)
+		default:
+			// Zero everywhere: the class contributes no utility at either
+			// endpoint; 0/0 would be NaN and scramble the sort (NaN compares
+			// false both ways). Pin it to the bottom of the order instead.
+			adv[j] = 0
+		}
 	}
 	jOrder := make([]int, nj)
 	for j := range jOrder {

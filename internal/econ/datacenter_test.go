@@ -184,6 +184,40 @@ func TestFleetMixValidation(t *testing.T) {
 	}
 }
 
+// TestFleetMixZeroPerf: a job class measuring zero performance at the
+// endpoint types used for comparative advantage must not poison the
+// assignment order — 0/0 is NaN, NaN comparisons are always false, and an
+// inconsistent comparator can scramble the whole greedy sort.
+func TestFleetMixZeroPerf(t *testing.T) {
+	big, small := BigCore(), SmallCore()
+	types := []CoreType{big, small}
+	zero := Grid{big.Cfg: 0, small.Cfg: 0}
+	strong := Grid{big.Cfg: 2.0, small.Cfg: 0.4} // advantage 5
+	weak := Grid{big.Cfg: 1.0, small.Cfg: 0.8}   // advantage 1.25
+	onlyBig := Grid{big.Cfg: 1.5, small.Cfg: 0}  // advantage +Inf, deterministically
+
+	shares := [][]float64{{0.5, 0.5}}
+	mixes := [][]float64{{0.25, 0.25, 0.25, 0.25}}
+	pts, err := FleetMix([]Grid{zero, strong, weak, onlyBig}, types, 1, shares, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := pts[0].Utility
+	if math.IsNaN(u) || math.IsInf(u, 0) || u <= 0 {
+		t.Fatalf("degenerate utility %v", u)
+	}
+	// The all-zero class sorts last (advantage pinned to 0), so moving it
+	// around the input must not change the total: the productive classes see
+	// the same cores either way.
+	perm, err := FleetMix([]Grid{strong, weak, onlyBig, zero}, types, 1, shares, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0].Utility != u {
+		t.Fatalf("utility depends on the zero class's input position: %v vs %v", perm[0].Utility, u)
+	}
+}
+
 // TestShareGrid pins the simplex enumeration: size C(steps+k-1, k-1),
 // every vector sums to 1, lexicographic order, and the K=2 case reproduces
 // the Fig. 17 fractions.

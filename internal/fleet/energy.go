@@ -53,24 +53,30 @@ func (m *machine) init(slices, banks int) {
 	m.slices, m.banks = slices, banks
 }
 
-// accrue integrates the current power draw over [lastT, t).
+// accrue integrates the current power draw over [lastT, t). The integral is
+// strictly monotonic in time: departures are delivered one barrier late with
+// their true (earlier) timestamp, so t can predate a prior touch — rewinding
+// lastT there would re-integrate the span [t, lastT] on the next accrual and
+// silently over-count energy. On backward or zero dt the state change simply
+// takes effect at lastT instead.
 //
 //ssim:hotpath
 func (m *machine) accrue(t float64) {
 	dt := t - m.lastT
-	if dt > 0 {
-		sliceStaticW := float64(m.slices) * area.SliceStaticW()
-		bankStaticW := float64(m.banks) * area.BankStaticW()
-		if m.vms == 0 {
-			// Parked: the chip is power-gated down to a leakage floor.
-			sliceStaticW *= area.ParkedLeakFrac
-			bankStaticW *= area.ParkedLeakFrac
-		}
-		m.energy.SliceStaticJ += sliceStaticW * dt
-		m.energy.BankStaticJ += bankStaticW * dt
-		m.energy.SliceDynamicJ += m.dynSliceW * dt
-		m.energy.BankDynamicJ += m.dynBankW * dt
+	if dt <= 0 {
+		return
 	}
+	sliceStaticW := float64(m.slices) * area.SliceStaticW()
+	bankStaticW := float64(m.banks) * area.BankStaticW()
+	if m.vms == 0 {
+		// Parked: the chip is power-gated down to a leakage floor.
+		sliceStaticW *= area.ParkedLeakFrac
+		bankStaticW *= area.ParkedLeakFrac
+	}
+	m.energy.SliceStaticJ += sliceStaticW * dt
+	m.energy.BankStaticJ += bankStaticW * dt
+	m.energy.SliceDynamicJ += m.dynSliceW * dt
+	m.energy.BankDynamicJ += m.dynBankW * dt
 	m.lastT = t
 }
 

@@ -163,8 +163,14 @@ func (p *Params) defaults() error {
 	if len(p.CacheKB) == 0 {
 		p.CacheKB = []int{0, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
 	}
-	if p.Market.SliceCost == 0 && p.Market.BankCost == 0 {
+	switch {
+	case p.Market.SliceCost == 0 && p.Market.BankCost == 0:
 		p.Market = econ.Market2()
+	case p.Market.SliceCost == 0 || p.Market.BankCost == 0:
+		// A half-set market is almost certainly a mistake: under
+		// AdaptivePrices the zero component would multiply to zero every
+		// step and ride the 0.001 clamp instead of erroring.
+		return fmt.Errorf("fleet: market %+v sets only one of SliceCost/BankCost; set both or neither", p.Market)
 	}
 	if p.ProbeBudget <= 0 {
 		p.ProbeBudget = len(p.Slices) * len(p.CacheKB)

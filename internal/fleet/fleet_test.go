@@ -111,6 +111,41 @@ func TestMachineEnergyHandComputed(t *testing.T) {
 	}
 }
 
+// TestMachineEnergyMonotonicAccrual: departures are delivered one barrier
+// late with their true (earlier) timestamp, so evict can run with t before a
+// prior touch. The integral must stay monotonic — the old code rewound lastT
+// backwards and double-counted the span [depart, prevTouch] on the next
+// accrual.
+func TestMachineEnergyMonotonicAccrual(t *testing.T) {
+	var m machine
+	m.init(64, 128)
+	vm := &VM{Cfg: econ.Config{Slices: 4, CacheKB: 256}, Perf: 2.0}
+	m.admit(10, vm)
+	m.evict(5, vm) // backward: true departure predates the admit touch
+	if m.lastT != 10 {
+		t.Fatalf("lastT rewound to %v, want 10", m.lastT)
+	}
+	m.accrue(30)
+
+	// The whole run must integrate exactly 30 s at the parked floor: [0, 10)
+	// parked before the admit, and — since the backward evict takes effect at
+	// lastT=10, leaving the machine parked again — [10, 30) parked too. The
+	// old rewind re-counted [5, 10) and inflated statics by 5 s.
+	ssW := 64 * area.SliceStaticW()
+	bsW := 128 * area.BankStaticW()
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("%s = %v J, want %v J", name, got, want)
+		}
+	}
+	check("SliceStaticJ", m.energy.SliceStaticJ, area.ParkedLeakFrac*ssW*30)
+	check("BankStaticJ", m.energy.BankStaticJ, area.ParkedLeakFrac*bsW*30)
+	if m.energy.SliceDynamicJ != 0 || m.energy.BankDynamicJ != 0 {
+		t.Errorf("dynamic energy %v/%v J over a zero-length residency, want 0",
+			m.energy.SliceDynamicJ, m.energy.BankDynamicJ)
+	}
+}
+
 // TestFleetReportConsistency checks the report's internal arithmetic on a
 // real run: event conservation, energy reduction identities, and the probe
 // economy bounds the acceptance criteria quote.
@@ -249,5 +284,13 @@ func TestParamValidation(t *testing.T) {
 	}
 	if _, err := New(Params{Machines: 4}, SyntheticProber{}); err == nil {
 		t.Error("no benchmarks accepted")
+	}
+	half := Params{Machines: 4, Benches: testBenches, Market: econ.Market{SliceCost: 1}}
+	if _, err := New(half, SyntheticProber{}); err == nil {
+		t.Error("market with only SliceCost accepted")
+	}
+	half.Market = econ.Market{BankCost: 0.1}
+	if _, err := New(half, SyntheticProber{}); err == nil {
+		t.Error("market with only BankCost accepted")
 	}
 }
