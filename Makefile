@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel bench bench-fleet lint market-smoke fleet-smoke check
+.PHONY: build vet test race race-parallel race-determinism bench bench-fleet lint lint-strict market-smoke fleet-smoke check
 
 build:
 	$(GO) build ./...
@@ -23,16 +23,36 @@ race:
 race-parallel:
 	$(GO) test -race ./internal/sim -run 'TestParallel|TestQuantum'
 
+# Scheduling-order shakeout: the two byte-identity differentials that prove
+# determinism across the worker pool and the fleet shards, run twice each
+# under the race detector so an interleaving-dependent flake gets two
+# chances to surface per CI run.
+race-determinism:
+	$(GO) test -race -count=2 -run 'TestParallelMatchesSequential' ./internal/sim
+	$(GO) test -race -count=2 -run 'TestFleetDeterminismAcrossShards' ./internal/fleet
+
 bench:
 	$(GO) test ./internal/sim -run '^$$' -bench BenchmarkMachineRun -benchtime 10x
 
-# simlint enforces the determinism and hot-path invariants (see DESIGN.md,
-# "Static analysis"): no wall-clock/global-rand/env reads in simulator
-# packages, no order-dependent map iteration, allocation-free //ssim:hotpath
-# functions, complete stats lifecycle methods, and safe cycle-counter
-# conversions.
+# simlint enforces the determinism, hot-path, and parallel-phase invariants
+# (see DESIGN.md, "Static analysis"): no wall-clock/global-rand/env reads in
+# simulator packages, no order-dependent map iteration, allocation-free
+# //ssim:hotpath functions, complete stats lifecycle methods, safe
+# cycle-counter conversions, and — via the concurrency-aware passes — no
+# unguarded shared writes, mixed atomic/plain access, scheduling-ordered
+# float reductions, or completion-order merges in the parallel layers.
+# The ./... pattern self-lints internal/analysis too.
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# lint-strict is the CI annotation gate: the same analyzers, but emitting a
+# SARIF log for PR annotation. Any diagnostic fails the build (simlint exits
+# 1), and the log is written even on failure so CI can upload it.
+lint-strict:
+	$(GO) run ./cmd/simlint -sarif ./... > simlint.sarif; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat simlint.sarif; fi; \
+	exit $$status
 
 # Incremental-vs-grid differential on a 3-profile cross-section under the
 # race detector: the exactness contract of the online market engine (see
@@ -54,4 +74,4 @@ fleet-smoke:
 bench-fleet:
 	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet2000x20000 -benchtime 5x
 
-check: build vet test race race-parallel lint market-smoke fleet-smoke
+check: build vet test race race-parallel race-determinism lint market-smoke fleet-smoke

@@ -1,6 +1,6 @@
 // Command simlint runs SSim's static-analysis suite (see DESIGN.md,
-// "Static analysis"): five passes that enforce the simulator's determinism
-// and hot-path invariants.
+// "Static analysis"): nine passes that enforce the simulator's determinism,
+// hot-path, and parallel-phase invariants.
 //
 // It runs in two modes:
 //
@@ -31,10 +31,14 @@ import (
 	"sharing/internal/analysis"
 	"sharing/internal/analysis/checker"
 	"sharing/internal/analysis/loader"
+	"sharing/internal/analysis/passes/atomicguard"
+	"sharing/internal/analysis/passes/barrierorder"
 	"sharing/internal/analysis/passes/cyclemath"
 	"sharing/internal/analysis/passes/detrand"
+	"sharing/internal/analysis/passes/fpreduce"
 	"sharing/internal/analysis/passes/hotalloc"
 	"sharing/internal/analysis/passes/maprange"
+	"sharing/internal/analysis/passes/sharedwrite"
 	"sharing/internal/analysis/passes/statsguard"
 )
 
@@ -44,12 +48,25 @@ var analyzers = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	statsguard.Analyzer,
 	cyclemath.Analyzer,
+	sharedwrite.Analyzer,
+	atomicguard.Analyzer,
+	fpreduce.Analyzer,
+	barrierorder.Analyzer,
 }
+
+// Output selection for multichecker mode; the vet protocol always prints
+// plain text to stderr.
+var (
+	jsonOut  bool
+	sarifOut bool
+)
 
 func main() {
 	// go vet probes its vettool with -V=full and -flags before use.
 	version := flag.String("V", "", "print version and exit (go vet protocol)")
 	printFlags := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
+	flag.BoolVar(&jsonOut, "json", false, "print findings as a JSON array (file/line/column/pass/message)")
+	flag.BoolVar(&sarifOut, "sarif", false, "print findings as a SARIF 2.1.0 log")
 	for _, a := range analyzers {
 		name := a.Name
 		a.Flags.VisitAll(func(f *flag.Flag) {
@@ -143,7 +160,20 @@ func multicheck(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		return 2
 	}
-	checker.Print(os.Stdout, fset, diags)
+	switch {
+	case jsonOut:
+		if err := checker.PrintJSON(os.Stdout, fset, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	case sarifOut:
+		if err := checker.PrintSARIF(os.Stdout, fset, diags, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	default:
+		checker.Print(os.Stdout, fset, diags)
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
 		return 1

@@ -185,6 +185,7 @@ func machineWorkers(mode string, names []string) int {
 	case "on":
 		return maxT
 	case "auto":
+		//ssim:nolint detrand: worker cap affects wall-clock only, results are byte-identical for any value
 		if c := runtime.NumCPU(); maxT > c {
 			maxT = c
 		}

@@ -1,0 +1,137 @@
+package checker
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+
+	"sharing/internal/analysis"
+)
+
+// JSONDiagnostic is the machine-readable shape of one finding, stable for
+// CI consumption: file/line/column locate it, pass names the analyzer.
+type JSONDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// PrintJSON renders diagnostics as a JSON array (one object per finding,
+// in the same order Print uses).
+func PrintJSON(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) error {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, JSONDiagnostic{
+			File:    pos.Filename,
+			Line:    pos.Line,
+			Column:  pos.Column,
+			Pass:    d.Category,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 skeleton — the subset CI annotators (GitHub code scanning)
+// consume: one run, one rule per analyzer, one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifMultiformant `json:"shortDescription"`
+}
+
+type sarifMultiformant struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string            `json:"ruleId"`
+	Level     string            `json:"level"`
+	Message   sarifMultiformant `json:"message"`
+	Locations []sarifLocation   `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// PrintSARIF renders diagnostics as a SARIF 2.1.0 log. Rule metadata comes
+// from the analyzer list so rules appear even with zero findings.
+func PrintSARIF(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic, analyzers []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMultiformant{Text: a.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "nolint",
+		ShortDescription: sarifMultiformant{Text: "malformed //ssim:nolint directive"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		results = append(results, sarifResult{
+			RuleID:  d.Category,
+			Level:   "error",
+			Message: sarifMultiformant{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: pos.Filename},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "simlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,135 @@
+package checker
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"sharing/internal/analysis"
+)
+
+// fixtureDiags builds a FileSet with two findings at known positions.
+func fixtureDiags(t *testing.T) (*token.FileSet, []analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f := fset.AddFile("pkg/a.go", -1, 100)
+	f.SetLines([]int{0, 20, 40, 60})
+	diags := []analysis.Diagnostic{
+		{Pos: f.Pos(25), Category: "detrand", Message: "time.Now reads the wall clock"},
+		{Pos: f.Pos(45), Category: "sharedwrite", Message: "write to shared state x"},
+	}
+	return fset, diags
+}
+
+func TestPrintJSON(t *testing.T) {
+	fset, diags := fixtureDiags(t)
+	var buf bytes.Buffer
+	if err := PrintJSON(&buf, fset, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d findings, want 2", len(got))
+	}
+	want0 := JSONDiagnostic{File: "pkg/a.go", Line: 2, Column: 6, Pass: "detrand", Message: "time.Now reads the wall clock"}
+	if got[0] != want0 {
+		t.Errorf("first finding = %+v, want %+v", got[0], want0)
+	}
+	if got[1].Pass != "sharedwrite" || got[1].Line != 3 {
+		t.Errorf("second finding = %+v", got[1])
+	}
+}
+
+// TestPrintJSONEmpty pins the CI contract: zero findings is an empty array,
+// not JSON null.
+func TestPrintJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintJSON(&buf, token.NewFileSet(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Fatalf("empty diagnostics rendered %q, want []", s)
+	}
+}
+
+func TestPrintSARIF(t *testing.T) {
+	fset, diags := fixtureDiags(t)
+	analyzers := []*analysis.Analyzer{
+		{Name: "detrand", Doc: "forbid wall-clock reads"},
+		{Name: "sharedwrite", Doc: "report unguarded shared writes"},
+	}
+	var buf bytes.Buffer
+	if err := PrintSARIF(&buf, fset, diags, analyzers); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "simlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every analyzer plus the synthetic nolint rule must be present even
+	// with zero findings for it.
+	ids := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"detrand", "sharedwrite", "nolint"} {
+		if !ids[want] {
+			t.Errorf("rule %q missing from driver rules %v", want, ids)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "detrand" || r0.Level != "error" {
+		t.Errorf("first result = %+v", r0)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "pkg/a.go" || loc.Region.StartLine != 2 || loc.Region.StartColumn != 6 {
+		t.Errorf("first result location = %+v", loc)
+	}
+}

@@ -22,6 +22,18 @@ const NolintPrefix = "//ssim:nolint"
 // callees, the hotalloc pass keeps free of per-call allocations.
 const HotpathDirective = "//ssim:hotpath"
 
+// ParallelDirective marks a function that executes on multiple goroutines
+// concurrently *with the same receiver and arguments* — the quantum engine
+// step, the shard pricing path, the shared surface cache. Inside such a
+// function (and through its same-package callee summaries) the concurrency
+// passes treat everything reachable from the receiver and pointer/reference
+// parameters as shared state: writes must be partitioned by a
+// goroutine-private index, guarded by a mutex, or done through sync/atomic.
+// Functions launched via a go statement are discovered automatically and do
+// not need the directive; it exists for call paths whose concurrency is not
+// syntactically visible in their own package.
+const ParallelDirective = "//ssim:parallel"
+
 // nolintDirective is one parsed suppression.
 type nolintDirective struct {
 	scope  string // analyzer name, or "" for all analyzers
@@ -123,11 +135,21 @@ func (s *Suppressions) Malformed() []Diagnostic { return s.malformed }
 // HasHotpathDirective reports whether a function declaration carries the
 // //ssim:hotpath directive in its doc comment group.
 func HasHotpathDirective(fd *ast.FuncDecl) bool {
+	return hasDirective(fd, HotpathDirective)
+}
+
+// HasParallelDirective reports whether a function declaration carries the
+// //ssim:parallel directive in its doc comment group.
+func HasParallelDirective(fd *ast.FuncDecl) bool {
+	return hasDirective(fd, ParallelDirective)
+}
+
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
 			return true
 		}
 	}

@@ -1,0 +1,16 @@
+package atomicguard
+
+import (
+	"testing"
+
+	"sharing/internal/analysis/analysistest"
+	"sharing/internal/analysis/conc"
+)
+
+func TestAtomicguard(t *testing.T) {
+	if err := Analyzer.Flags.Set("pkgs", "a"); err != nil {
+		t.Fatal(err)
+	}
+	defer Analyzer.Flags.Set("pkgs", conc.DefaultScope)
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "a", "outofscope")
+}

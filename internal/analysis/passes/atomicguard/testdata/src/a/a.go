@@ -1,0 +1,103 @@
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gauge struct {
+	n    int64
+	hits int64
+}
+
+// bump uses the sync/atomic free functions on n.
+func (g *gauge) bump() { atomic.AddInt64(&g.n, 1) }
+
+// read then touches the same field plainly: the plain load races with the
+// atomic adds.
+func (g *gauge) read() int64 {
+	return g.n // want `field n is accessed with sync/atomic elsewhere but plainly here`
+}
+
+// reset writes it plainly too.
+func (g *gauge) reset() {
+	g.n = 0 // want `field n is accessed with sync/atomic elsewhere but plainly here`
+}
+
+// hits is never touched atomically: plain access is fine.
+func (g *gauge) count() int64 { return g.hits }
+
+var ops int64
+
+func addOp() { atomic.AddInt64(&ops, 1) }
+
+func snapshot() int64 {
+	v := ops // want `ops is accessed with sync/atomic elsewhere but plainly here`
+	return v
+}
+
+func excusedLoad() int64 {
+	//ssim:nolint atomicguard: init-time read before any goroutine starts
+	return ops
+}
+
+// typed wrappers make the mixed-access mistake unrepresentable: clean.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) bump() int64 { return t.n.Add(1) }
+
+type guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+// byValue receives a copy with its own mutex.
+func byValue(g guarded) int { // want `parameter copies a\.guarded, which contains sync\.Mutex`
+	return g.v
+}
+
+// byPointer shares the lock: clean.
+func byPointer(g *guarded) int { return g.v }
+
+func assignCopy(g *guarded) {
+	c := *g // want `assignment copies a\.guarded, which contains sync\.Mutex`
+	_ = c.v
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies a\.guarded, which contains sync\.Mutex`
+		total += g.v
+	}
+	return total
+}
+
+func take(any) {}
+
+func argCopy(g *guarded) {
+	take(*g) // want `argument copies a\.guarded, which contains sync\.Mutex`
+	take(g)  // pointer argument: clean
+}
+
+// waitByValue copies the WaitGroup's counter state.
+func waitByValue(wg sync.WaitGroup) { // want `parameter copies sync\.WaitGroup, which contains sync\.WaitGroup`
+	wg.Wait()
+}
+
+// embedded transitively contains the primitive.
+type embedded struct {
+	inner [2]guarded
+}
+
+func embeddedCopy(e *embedded) {
+	c := *e // want `assignment copies a\.embedded, which contains sync\.Mutex`
+	_ = c
+}
+
+func excusedCopy(g *guarded) {
+	//ssim:nolint atomicguard: pre-publication copy; no other goroutine has seen g yet
+	c := *g
+	_ = c.v
+}

@@ -1,0 +1,9 @@
+package outofscope
+
+import "sync"
+
+// The test scopes the analyzer to package a only: this copy must not be
+// reported.
+func copyLock(mu sync.Mutex) {
+	_ = mu
+}

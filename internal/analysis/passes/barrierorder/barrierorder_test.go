@@ -1,0 +1,16 @@
+package barrierorder
+
+import (
+	"testing"
+
+	"sharing/internal/analysis/analysistest"
+	"sharing/internal/analysis/conc"
+)
+
+func TestBarrierorder(t *testing.T) {
+	if err := Analyzer.Flags.Set("pkgs", "a,accrue"); err != nil {
+		t.Fatal(err)
+	}
+	defer Analyzer.Flags.Set("pkgs", conc.DefaultScope)
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "a", "accrue", "outofscope")
+}

@@ -1,0 +1,103 @@
+package a
+
+import "sync"
+
+type merger struct {
+	mu  sync.Mutex
+	out []int
+}
+
+// completionOrder appends from inside the region: the mutex serializes the
+// appends but their order still follows goroutine scheduling.
+func completionOrder(m *merger) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.mu.Lock()
+			m.out = append(m.out, i) // want `append to shared m\.out from a parallel region \(go statement\) merges results in goroutine completion order`
+			m.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// idOrder is the sanctioned shape: per-goroutine slots, concatenated after
+// the join in ID order.
+func idOrder(n int) []int {
+	parts := make([][]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i] = append(parts[i], i) // per-goroutine slot: clean
+		}(i)
+	}
+	wg.Wait()
+	var out []int
+	for _, p := range parts { // slice iteration after the join: clean
+		out = append(out, p...)
+	}
+	return out
+}
+
+// channelMerges flags both receive-loop shapes in a launching function.
+func channelMerges(n int) int {
+	results := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { results <- i }(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		v := <-results // want `receiving goroutine results from results in a loop merges them in completion order`
+		total += v
+	}
+	return total
+}
+
+func rangeMerge(results chan int) int {
+	go func() { results <- 1 }()
+	total := 0
+	for v := range results { // want `ranging over channel results merges goroutine results in completion order`
+		total += v
+	}
+	return total
+}
+
+// drainOnly discards the received values: a join protocol, not a merge.
+func drainOnly(n int) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		<-done // pure drain: clean
+	}
+	for range done { // keyless range: clean
+		break
+	}
+}
+
+// rangeCallback inherits sync.Map's unspecified iteration order.
+func rangeCallback(m *sync.Map, ch chan int) []int {
+	var keys []int
+	m.Range(func(k, v any) bool {
+		keys = append(keys, k.(int)) // want `append inside a sync\.Map\.Range callback follows the map's unspecified iteration order`
+		ch <- k.(int)                // want `channel send inside a sync\.Map\.Range callback follows the map's unspecified iteration order`
+		return true
+	})
+	return keys
+}
+
+// excused carries a reasoned suppression.
+func excused(m *merger) {
+	done := make(chan struct{})
+	go func() {
+		//ssim:nolint barrierorder: single producer goroutine; the order is its program order
+		m.out = append(m.out, 1)
+		close(done)
+	}()
+	<-done
+}

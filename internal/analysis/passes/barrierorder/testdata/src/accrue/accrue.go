@@ -1,0 +1,48 @@
+package accrue
+
+// The merge half of the PR 6 energy-accounting discipline: even with
+// per-goroutine energy integrals, draining them as goroutines finish
+// reorders the float reduction run to run — the 1/2/4/8-shard fingerprint
+// drifts with scheduling while the race detector stays silent.
+
+type result struct {
+	shard  int
+	joules float64
+}
+
+// mergeCompletionOrder sums shard energies as they arrive.
+func mergeCompletionOrder(shards int) float64 {
+	results := make(chan result)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			results <- result{shard: s, joules: float64(s)}
+		}(s)
+	}
+	total := 0.0
+	for i := 0; i < shards; i++ {
+		r := <-results // want `receiving goroutine results from results in a loop merges them in completion order`
+		total += r.joules
+	}
+	return total
+}
+
+// mergeIDOrder is the shipped fix: fill an ID-indexed slot, join on a
+// drained channel, reduce in shard-ID order.
+func mergeIDOrder(shards int) float64 {
+	partial := make([]float64, shards)
+	done := make(chan struct{})
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			partial[s] = float64(s)
+			done <- struct{}{}
+		}(s)
+	}
+	for i := 0; i < shards; i++ {
+		<-done // pure drain: clean
+	}
+	total := 0.0
+	for _, j := range partial {
+		total += j
+	}
+	return total
+}

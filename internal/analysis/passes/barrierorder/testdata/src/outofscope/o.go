@@ -1,0 +1,16 @@
+package outofscope
+
+// The test scopes the analyzer to package a only: this merge must not be
+// reported.
+func merge(n int) int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i }(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		v := <-ch
+		total += v
+	}
+	return total
+}

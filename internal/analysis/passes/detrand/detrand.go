@@ -27,8 +27,11 @@ import (
 )
 
 // DefaultScope lists the packages whose results must be a pure function of
-// configuration and seed.
-const DefaultScope = "internal/sim,internal/vcore,internal/slice,internal/cache,internal/noc,internal/trace,internal/workload,internal/econ,internal/hypervisor,internal/market,internal/fleet"
+// configuration and seed — the simulator core, the layers above it
+// (autotuner, experiments), the drivers under cmd/, and the analysis suite
+// itself (a nondeterministic linter would report findings in a
+// run-to-run-varying order).
+const DefaultScope = "internal/sim,internal/vcore,internal/slice,internal/cache,internal/noc,internal/trace,internal/workload,internal/econ,internal/hypervisor,internal/market,internal/fleet,internal/autotuner,internal/experiments,internal/area,internal/plot,internal/isa,internal/mem,internal/analysis,cmd"
 
 var scope string
 

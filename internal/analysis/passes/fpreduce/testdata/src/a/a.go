@@ -1,0 +1,73 @@
+package a
+
+import "sync"
+
+type stats struct {
+	mu    sync.Mutex
+	total float64
+	parts []float64
+}
+
+// reduce shows the three accumulation shapes: racy, serialized-but-unordered
+// (the pass's key insight: the mutex fixes the race, not the float order),
+// and the sanctioned per-goroutine partial.
+func reduce(s *stats) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.total += float64(i) // want `float accumulation into shared s\.total inside a parallel region \(go statement\) is ordered by goroutine scheduling without a mutex`
+			s.mu.Lock()
+			s.total += float64(i) // want `float accumulation into shared s\.total inside a parallel region \(go statement\) is ordered by goroutine scheduling even under a mutex`
+			s.mu.Unlock()
+			s.parts[i] += float64(i) // per-goroutine partial: clean
+		}(i)
+	}
+	wg.Wait()
+}
+
+// bump accumulates through the receiver; callers inside parallel regions
+// inherit the effect from its summary.
+func (s *stats) bump(x float64) { s.total += x }
+
+//ssim:parallel
+func (s *stats) step(i int) {
+	s.bump(1) // want `call to bump inside a parallel region \(//ssim:parallel stats\.step\) accumulates floats into shared state`
+	s.parts[i] = 0 // integer-free partitioned write: not this pass's business
+}
+
+// rangeAccum is nondeterministic even single-goroutine: sync.Map iteration
+// order is unspecified.
+func rangeAccum(m *sync.Map) float64 {
+	total := 0.0
+	m.Range(func(k, v any) bool {
+		total += v.(float64) // want `float accumulation into total inside a sync\.Map\.Range callback`
+		return true
+	})
+	return total
+}
+
+// localAccum is goroutine-private: clean.
+func localAccum() float64 {
+	out := make(chan float64, 1)
+	go func() {
+		total := 0.0
+		for i := 0; i < 4; i++ {
+			total += float64(i)
+		}
+		out <- total
+	}()
+	return <-out
+}
+
+// excused carries a reasoned suppression.
+func excused(s *stats) {
+	done := make(chan struct{})
+	go func() {
+		//ssim:nolint fpreduce: single goroutine in this phase; the reduction order is its program order
+		s.total += 1
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,9 @@
+package outofscope
+
+// The test scopes the analyzer to package a only: this accumulation must
+// not be reported.
+func race(total *float64) {
+	go func() {
+		*total += 1
+	}()
+}

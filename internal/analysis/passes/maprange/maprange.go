@@ -24,9 +24,9 @@ import (
 	"sharing/internal/analysis/passes/detrand"
 )
 
-// DefaultScope extends the deterministic core with the experiment drivers,
-// whose reports feed the paper's tables directly.
-const DefaultScope = detrand.DefaultScope + ",internal/experiments"
+// DefaultScope matches detrand: every package whose results feed the
+// paper's tables must also iterate its maps in a deterministic order.
+const DefaultScope = detrand.DefaultScope
 
 var scope string
 

@@ -1,0 +1,95 @@
+package a
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex
+	total int
+	slots []int
+	tags  map[string]int
+}
+
+// captured flags writes through a captured pointer from a go-launched
+// literal, and accepts the same write under the mutex.
+func captured(c *counter) {
+	done := make(chan struct{})
+	go func() {
+		c.total++ // want `write to shared state c\.total inside a parallel region \(go statement\) without mutex, partition, or barrier`
+		c.tags["x"] = 1 // want `write to shared map c\.tags\["x"\] inside a parallel region \(go statement\)`
+		c.mu.Lock()
+		c.total++ // guarded: clean
+		c.mu.Unlock()
+		close(done)
+	}()
+	<-done
+}
+
+// partitioned is the static-partition idiom: each goroutine owns the slot
+// its private index selects.
+func partitioned(c *counter) {
+	var wg sync.WaitGroup
+	for i := range c.slots {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.slots[i] = i * i // private index: clean
+		}(i)
+	}
+	wg.Wait()
+}
+
+// private shows region-local state is never flagged.
+func private() {
+	go func() {
+		local := make([]int, 4)
+		local[3] = 1 // goroutine-owned: clean
+		n := 0
+		n++ // goroutine-owned: clean
+		_ = n
+	}()
+}
+
+// excused carries a reasoned suppression.
+func excused(c *counter) {
+	done := make(chan struct{})
+	go func() {
+		//ssim:nolint sharedwrite: single writer until close(done); the reader joins on the channel first
+		c.total = 0
+		close(done)
+	}()
+	<-done
+}
+
+type pool struct {
+	had []bool
+	n   int
+}
+
+// markFirst writes a fixed element through the receiver: shared wherever
+// the receiver is.
+func (p *pool) markFirst() { p.had[0] = true }
+
+// markAt writes the element its parameter selects: partitioned when the
+// argument is goroutine-private.
+func (p *pool) markAt(i int) { p.had[i] = true }
+
+func (p *pool) launch() {
+	for w := 0; w < 2; w++ {
+		go p.work(w)
+	}
+}
+
+// work is a go-launched declaration: a parallel region by discovery, and
+// callee summaries are applied at its call sites.
+func (p *pool) work(w int) {
+	p.markFirst() // want `call to markFirst inside a parallel region \(go pool\.work\) writes shared state`
+	p.markAt(w)   // partition index receives the private worker ID: clean
+}
+
+// step is parallel by directive: concurrency not visible in this package.
+//
+//ssim:parallel
+func (p *pool) step(i int) {
+	p.n++          // want `write to shared state p\.n inside a parallel region \(//ssim:parallel pool\.step\)`
+	p.had[i] = true // parameter-selected slot: clean
+}

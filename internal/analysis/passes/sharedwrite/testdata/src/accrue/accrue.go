@@ -1,0 +1,75 @@
+package accrue
+
+// Reproduction of the PR 6 review bug's concurrent shape. The shipped bug
+// was a lazy energy integral whose clock could rewind (a late-delivered
+// departure carried an earlier timestamp), silently re-integrating the
+// rewound span. The variant below drives the same accrual from the epoch's
+// parallel energy phase while accumulating into a fleet-shared total: the
+// summary chain makes the shared write visible at the call site, which is
+// exactly where the barrier discipline has to forbid it. The shipped design
+// keeps the integral per machine and reduces in machine-ID order after the
+// join (the clean function at the bottom).
+
+type machine struct {
+	lastT  float64
+	power  float64
+	joules float64
+}
+
+// accrueInto integrates m's power over [lastT, t) into the fleet total —
+// the buggy shape: the accumulator is fleet-shared, and a backward t (the
+// rewind) makes dt negative with nothing to stop it.
+func (f *fleet) accrueInto(m *machine, t float64) {
+	dt := t - m.lastT
+	f.joules += f.powerOf(m) * dt
+	m.lastT = t
+}
+
+func (f *fleet) powerOf(m *machine) float64 { return m.power }
+
+type fleet struct {
+	machines []*machine
+	shards   [][]int
+	joules   float64
+}
+
+// applyEnergyParallel is the epoch's machine-parallel energy phase.
+func (f *fleet) applyEnergyParallel(t float64) {
+	done := make(chan struct{})
+	for s := range f.shards {
+		shard := f.shards[s]
+		go func() {
+			for _, id := range shard {
+				f.accrueInto(f.machines[id], t) // want `call to accrueInto inside a parallel region \(go statement\) writes shared state`
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range f.shards {
+		<-done
+	}
+}
+
+// applyEnergyFixed is the shipped fix: each goroutine integrates into the
+// machine slot its private index selects; the sequential reduction after
+// the join happens elsewhere, in machine-ID order.
+func (f *fleet) applyEnergyFixed(t float64) {
+	done := make(chan struct{})
+	for s := range f.shards {
+		shard := f.shards[s]
+		go func() {
+			for _, id := range shard {
+				m := f.machines[id]
+				dt := t - m.lastT
+				if dt > 0 { // the monotonicity guard from the fix
+					m.joules += m.power * dt
+					m.lastT = t
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range f.shards {
+		<-done
+	}
+}

@@ -1,0 +1,9 @@
+package outofscope
+
+// The test scopes the analyzer to package a only: this write must not be
+// reported.
+func race(p *int) {
+	go func() {
+		*p = 1
+	}()
+}

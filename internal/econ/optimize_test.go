@@ -55,10 +55,12 @@ func latticeGrid(perf func(Config) float64) Grid {
 func TestSearchMatchesGridEverywhere(t *testing.T) {
 	for name, perf := range surfaces {
 		g := latticeGrid(perf)
+		//ssim:nolint maprange: closure returns to its caller; every surface is checked regardless of order
 		probe := func(cfg Config) (float64, error) { return perf(cfg), nil }
 		for _, m := range Markets() {
 			for _, u := range Utilities() {
 				wantCfg, wantU := u.Best(m, g)
+				//ssim:nolint maprange: closure returns to its caller; every surface is checked regardless of order
 				obj := func(p float64, cfg Config) float64 { return u.Value(m, p, cfg) }
 
 				opt, err := NewOptimizer(optSlices, optCaches)

@@ -180,6 +180,7 @@ func (r *Runner) seed() int64 {
 func (r *Runner) workers() int {
 	w := r.Workers
 	if w <= 0 {
+		//ssim:nolint detrand: pool width affects wall-clock only, results are byte-identical for any value
 		w = runtime.NumCPU()
 	}
 	// Divide the budget between the sweep pool and the per-machine pools:

@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ArchState is the architectural state of one hardware thread: the register
 // file and a sparse 64-bit word memory image. It is the "golden" state that
@@ -41,11 +44,13 @@ func (s *ArchState) Equal(o *ArchState) bool {
 	}
 	for k, v := range s.Mem {
 		if o.Mem[k] != v {
+			//ssim:nolint maprange: any-mismatch predicate; the same false is returned whichever entry is seen first
 			return false
 		}
 	}
 	for k, v := range o.Mem {
 		if s.Mem[k] != v {
+			//ssim:nolint maprange: any-mismatch predicate; the same false is returned whichever entry is seen first
 			return false
 		}
 	}
@@ -54,23 +59,29 @@ func (s *ArchState) Equal(o *ArchState) bool {
 
 // Diff returns a short description of the first difference between two
 // states, or "" if they are equal. It exists to make golden-model test
-// failures actionable.
+// failures actionable. Memory is compared in ascending address order, so
+// the reported difference is the lowest differing address — stable across
+// runs, where iterating the maps directly would name an arbitrary one.
 func (s *ArchState) Diff(o *ArchState) string {
 	for r := 0; r < NumArchRegs; r++ {
 		if s.Regs[r] != o.Regs[r] {
 			return fmt.Sprintf("r%d: %#x vs %#x", r, s.Regs[r], o.Regs[r])
 		}
 	}
-	seen := make(map[uint64]bool, len(s.Mem))
-	for k, v := range s.Mem {
-		seen[k] = true
-		if o.Mem[k] != v {
-			return fmt.Sprintf("mem[%#x]: %#x vs %#x", k, v, o.Mem[k])
+	addrs := make([]uint64, 0, len(s.Mem)+len(o.Mem))
+	for k := range s.Mem {
+		addrs = append(addrs, k)
+	}
+	for k := range o.Mem {
+		if _, ok := s.Mem[k]; !ok {
+			//ssim:nolint maprange: collection order is erased by the sort immediately below
+			addrs = append(addrs, k)
 		}
 	}
-	for k, v := range o.Mem {
-		if !seen[k] && v != 0 {
-			return fmt.Sprintf("mem[%#x]: 0 vs %#x", k, v)
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, k := range addrs {
+		if sv, ov := s.Mem[k], o.Mem[k]; sv != ov {
+			return fmt.Sprintf("mem[%#x]: %#x vs %#x", k, sv, ov)
 		}
 	}
 	return ""

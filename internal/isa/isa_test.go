@@ -237,12 +237,16 @@ func TestInterpDeterministic(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		switch rng.Intn(4) {
 		case 0:
+			//ssim:nolint cyclemath: Reg(rng.Intn(31)) is bounded well under uint8
 			prog = append(prog, Inst{PC: uint64(i * 4), Op: OpAddI, Dest: Reg(1 + rng.Intn(30)), Src1: Reg(rng.Intn(31)), Imm: int64(rng.Intn(100))})
 		case 1:
+			//ssim:nolint cyclemath: Reg(rng.Intn(31)) is bounded well under uint8
 			prog = append(prog, Inst{PC: uint64(i * 4), Op: OpAdd, Dest: Reg(1 + rng.Intn(30)), Src1: Reg(rng.Intn(31)), Src2: Reg(rng.Intn(31))})
 		case 2:
+			//ssim:nolint cyclemath: Reg(rng.Intn(31)) is bounded well under uint8
 			prog = append(prog, Inst{PC: uint64(i * 4), Op: OpMul, Dest: Reg(1 + rng.Intn(30)), Src1: Reg(rng.Intn(31)), Src2: Reg(rng.Intn(31))})
 		case 3:
+			//ssim:nolint cyclemath: Reg(rng.Intn(31)) is bounded well under uint8
 			prog = append(prog, Inst{PC: uint64(i * 4), Op: OpXor, Dest: Reg(1 + rng.Intn(30)), Src1: Reg(rng.Intn(31)), Src2: Reg(rng.Intn(31))})
 		}
 	}
@@ -255,5 +259,31 @@ func TestInterpDeterministic(t *testing.T) {
 	}
 	if !a.State.Equal(b.State) {
 		t.Fatal("interpreter must be deterministic")
+	}
+}
+
+// TestDiffReportsLowestAddress pins the determinism fix in ArchState.Diff:
+// when several memory words differ, the report must always name the lowest
+// differing address, not whichever entry Go's map iteration surfaced first.
+func TestDiffReportsLowestAddress(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		a, b := NewArchState(), NewArchState()
+		// Many differing entries, plus one only present in b, so a naive
+		// map-order walk has plenty of arbitrary answers to pick from.
+		for i := 0; i < 64; i++ {
+			addr := uint64(0x1000 + 8*i)
+			a.Mem[addr] = uint64(i)
+			b.Mem[addr] = uint64(i) + 1
+		}
+		b.Mem[0x8000] = 7
+		want := "mem[0x1000]: 0x0 vs 0x1"
+		if got := a.Diff(b); got != want {
+			t.Fatalf("trial %d: Diff = %q, want %q", trial, got, want)
+		}
+		// Lower register differences still win over memory.
+		a.Regs[3] = 9
+		if got := a.Diff(b); got != "r3: 0x9 vs 0x0" {
+			t.Fatalf("trial %d: Diff with register mismatch = %q", trial, got)
+		}
 	}
 }

@@ -70,6 +70,8 @@ func (c *SurfaceCache) memoFor(k surfaceKey) *surfaceMemo {
 // Probe returns the memoized or freshly measured performance of cfg on the
 // given surface (phase WholeProgram for whole-benchmark surfaces). Hits are
 // lock-free.
+//
+//ssim:parallel
 func (c *SurfaceCache) Probe(bench string, phase int, cfg econ.Config) (float64, error) {
 	k := surfaceKey{bench: bench, phase: phase}
 	m := c.memoFor(k)
@@ -121,6 +123,8 @@ func (c *SurfaceCache) Probe(bench string, phase int, cfg econ.Config) (float64,
 
 // Known returns the memoized value for cfg on the given surface, if present,
 // without probing. Lock-free.
+//
+//ssim:parallel
 func (c *SurfaceCache) Known(bench string, phase int, cfg econ.Config) (float64, bool) {
 	if m, ok := c.surfaces.Load(surfaceKey{bench: bench, phase: phase}); ok {
 		if vals := m.(*surfaceMemo).vals.Load(); vals != nil {

@@ -96,6 +96,7 @@ func TestSurfaceCacheSharedAcrossEngines(t *testing.T) {
 	}
 	wg.Wait()
 	close(errs)
+	//ssim:nolint barrierorder: any collected error fails the test; arrival order is irrelevant
 	for err := range errs {
 		t.Fatal(err)
 	}

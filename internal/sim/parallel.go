@@ -154,6 +154,7 @@ func (mc *Machine) runQuanta(t *int64, stop *windowStop) error {
 // performed any observable work in the quantum.
 //
 //ssim:hotpath
+//ssim:parallel
 func (mc *Machine) runEngineQuantum(i int, from, to int64, stop *windowStop) bool {
 	e := mc.m.engines[i]
 	strict := mc.p.StrictTick

@@ -46,6 +46,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	for _, bench := range workload.Names() {
 		for _, ne := range engineCounts {
 			bench, ne := bench, ne
+			//ssim:nolint cyclemath: ne <= 8, a single digit
 			t.Run(bench+"/"+string(rune('0'+ne)), func(t *testing.T) {
 				t.Parallel()
 				mt := genThreads(t, bench, ne, n, int64(31*ne)+7)

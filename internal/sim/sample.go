@@ -198,6 +198,7 @@ type windowStop struct {
 // contend.
 //
 //ssim:hotpath
+//ssim:parallel
 func (w *windowStop) checkEngine(i int, now int64) {
 	c := w.engines[i].Committed()
 	if w.tS[i] < 0 && c >= w.winS[i] {

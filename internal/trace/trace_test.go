@@ -16,12 +16,15 @@ func randInst(rng *rand.Rand, prevPC uint64) isa.Inst {
 	op := ops[rng.Intn(len(ops))]
 	in := isa.Inst{PC: prevPC + uint64(rng.Intn(3))*4, Op: op}
 	if op.HasDest() {
+		//ssim:nolint cyclemath: bounded by NumArchRegs (32)
 		in.Dest = isa.Reg(rng.Intn(isa.NumArchRegs))
 	}
 	if op.NumSrc() >= 1 {
+		//ssim:nolint cyclemath: bounded by NumArchRegs (32)
 		in.Src1 = isa.Reg(rng.Intn(isa.NumArchRegs))
 	}
 	if op.NumSrc() >= 2 {
+		//ssim:nolint cyclemath: bounded by NumArchRegs (32)
 		in.Src2 = isa.Reg(rng.Intn(isa.NumArchRegs))
 	}
 	if op == isa.OpAddI || op.IsMemory() {
@@ -118,6 +121,7 @@ func TestCodecRejectsCorruption(t *testing.T) {
 	// structurally valid — never panic.
 	for trial := 0; trial < 200; trial++ {
 		c := append([]byte(nil), clean...)
+		//ssim:nolint cyclemath: 1+Intn(255) <= 255, exactly a byte
 		c[rng.Intn(len(c))] ^= byte(1 + rng.Intn(255))
 		got, err := Read(bytes.NewReader(c))
 		if err == nil {
