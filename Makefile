@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel race-determinism bench bench-fleet lint lint-strict market-smoke fleet-smoke check
+.PHONY: build vet test race race-parallel race-determinism bench bench-fleet lint lint-strict market-smoke fleet-smoke distrib-smoke check
 
 build:
 	$(GO) build ./...
@@ -74,4 +74,20 @@ fleet-smoke:
 bench-fleet:
 	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet2000x20000 -benchtime 5x
 
-check: build vet test race race-parallel race-determinism lint market-smoke fleet-smoke
+# Distributed-backend differentials under the race detector: procpool vs
+# inproc byte-identity (2 and 4 worker subprocesses), journal-only
+# checkpoint/resume with zero re-runs, the drain short-circuit, and the
+# scripted SIGINT kill-and-resume round trip through the real sweep CLI;
+# then a procpool round trip through `go run` against an inproc baseline,
+# diffing the persisted results files byte for byte.
+distrib-smoke:
+	$(GO) test -race -count=1 -run 'TestProcpoolMatchesInproc|TestCheckpointResumeZeroReruns|TestSweepCompletesAfterTruncatedResults|TestStopShortCircuits' ./internal/experiments
+	$(GO) test -race -count=1 ./internal/distrib
+	$(GO) test -count=1 -run 'TestSweepSigintResume|TestSweepProcpoolCLI' ./cmd/sweep
+	rm -rf /tmp/ssim-distrib-smoke && mkdir -p /tmp/ssim-distrib-smoke
+	$(GO) run ./cmd/sweep -exp fig12 -bench astar -n 20000 -q -results /tmp/ssim-distrib-smoke/inproc.json > /dev/null
+	$(GO) run ./cmd/sweep -exp fig12 -bench astar -n 20000 -q -backend procpool -shards 2 -results /tmp/ssim-distrib-smoke/procpool.json > /dev/null
+	cmp /tmp/ssim-distrib-smoke/inproc.json /tmp/ssim-distrib-smoke/procpool.json
+	rm -rf /tmp/ssim-distrib-smoke
+
+check: build vet test race race-parallel race-determinism lint market-smoke fleet-smoke distrib-smoke

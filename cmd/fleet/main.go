@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 )
 
 func main() {
+	experiments.MaybeWorker()
 	var (
 		machines  = flag.Int("machines", 2000, "chips in the fleet")
 		shards    = flag.Int("shards", 4, "parallel shards (results are byte-identical for any value)")
@@ -46,9 +48,20 @@ func main() {
 		steps     = flag.Int("steps", 4, "share-simplex granularity for -fig17k")
 		n         = flag.Int("n", experiments.DefaultTraceLen, "instructions per thread (simulator probes)")
 		results   = flag.String("results", "", "JSON results cache (reused across runs)")
-		quiet     = flag.Bool("q", false, "suppress per-run progress")
+		// -shards above splits the fleet itself; the execution backend's
+		// worker count gets its own flag name.
+		backend  = flag.String("backend", "inproc", "simulator execution backend: inproc (worker pool in this process) or procpool (worker subprocesses)")
+		beShards = flag.Int("backend-shards", 0, "procpool worker subprocess count (0 = default)")
+		resume   = flag.Bool("resume", false, "resume an interrupted run from the -results checkpoint journal")
+		quiet    = flag.Bool("q", false, "suppress per-run progress")
 	)
 	flag.Parse()
+
+	if *resume && *results == "" {
+		fatal(errors.New("-resume needs -results: the checkpoint journal lives next to the results cache"))
+	}
+	runnerBackend, runnerResume = *backend, *resume
+	runnerShards = *beShards
 
 	names := strings.Split(*benches, ",")
 
@@ -125,14 +138,31 @@ func main() {
 	saveRunner(r)
 }
 
+// Backend selection for newRunner, resolved from the flags in main.
+var (
+	runnerBackend string
+	runnerShards  int
+	runnerResume  bool
+)
+
 func newRunner(n int, results string, quiet bool) *experiments.Runner {
 	r := experiments.NewRunner()
 	r.TraceLen, r.ResultsPath = n, results
 	if !quiet {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+	be, err := experiments.NewBackend(runnerBackend, runnerShards, "")
+	if err != nil {
+		fatal(err)
+	}
+	if be != nil {
+		r.Backend = be
+	}
 	if err := r.Load(); err != nil {
 		fatal(err)
+	}
+	if runnerResume {
+		fmt.Fprintf(os.Stderr, "fleet: recovered %d checkpointed measurements\n", r.Recovered())
 	}
 	return r
 }
@@ -143,6 +173,9 @@ func saveRunner(r *experiments.Runner) {
 	}
 	if err := r.Save(); err != nil {
 		fatal(err)
+	}
+	if r.Backend != nil {
+		r.Backend.Close()
 	}
 }
 

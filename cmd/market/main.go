@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +31,16 @@ import (
 )
 
 func main() {
+	experiments.MaybeWorker()
 	var (
 		exp         = flag.String("exp", "table4", "table4|table5|table6|fig14|fig15|fig16|fig17")
 		benches     = flag.String("bench", "", "comma-separated benchmarks (default: all)")
 		n           = flag.Int("n", experiments.DefaultTraceLen, "instructions per thread")
 		seed        = flag.Int64("seed", experiments.DefaultSeed, "workload seed")
 		results     = flag.String("results", "", "JSON results cache (reused across runs)")
+		backend     = flag.String("backend", "inproc", "execution backend: inproc (worker pool in this process) or procpool (worker subprocesses)")
+		shards      = flag.Int("shards", 0, "procpool worker subprocess count (0 = default)")
+		resume      = flag.Bool("resume", false, "resume an interrupted run from the -results checkpoint journal")
 		quiet       = flag.Bool("q", false, "suppress per-run progress")
 		incremental = flag.Bool("incremental", false, "price table4/table6 bids via the incremental engine (O(probes) per bid)")
 		churn       = flag.Bool("churn", false, "run the churn scenario through the incremental engine and report per-event costs")
@@ -43,13 +48,28 @@ func main() {
 	)
 	flag.Parse()
 
+	if *resume && *results == "" {
+		fatal(errors.New("-resume needs -results: the checkpoint journal lives next to the results cache"))
+	}
+
 	r := experiments.NewRunner()
 	r.TraceLen, r.Seed, r.ResultsPath = *n, *seed, *results
 	if !*quiet {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+	be, err := experiments.NewBackend(*backend, *shards, "")
+	if err != nil {
+		fatal(err)
+	}
+	if be != nil {
+		r.Backend = be
+		defer be.Close()
+	}
 	if err := r.Load(); err != nil {
 		fatal(err)
+	}
+	if *resume {
+		fmt.Fprintf(os.Stderr, "market: recovered %d checkpointed measurements\n", r.Recovered())
 	}
 	var names []string
 	if *benches != "" {

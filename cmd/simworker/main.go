@@ -1,0 +1,39 @@
+// Command simworker is a standalone simulation worker: it serves the binary
+// SREQ/SRES request/response loop of the procpool execution backend on
+// stdin/stdout until its input pipe closes. The sweep-facing commands do not
+// need it — their procpool backends re-exec the running binary in worker
+// mode — but a standalone worker is handy for driving the wire protocol by
+// hand or from a non-Go harness.
+//
+// Usage:
+//
+//	simworker [-tracecache DIR] < requests > results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sharing/internal/distrib"
+	"sharing/internal/experiments"
+)
+
+func main() {
+	experiments.MaybeWorker()
+	var (
+		traceCache = flag.String("tracecache", "", "directory for the binary trace cache (default: the procpool's "+distrib.WorkerTraceCacheEnv+" env var)")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	r.TraceCacheDir = *traceCache
+	if r.TraceCacheDir == "" {
+		//ssim:nolint detrand: trace-cache location is IO plumbing; results derive only from request fields
+		r.TraceCacheDir = os.Getenv(distrib.WorkerTraceCacheEnv)
+	}
+	if err := experiments.ServeWorker(r, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simworker:", err)
+		os.Exit(1)
+	}
+}

@@ -7,12 +7,20 @@
 //
 //	sweep -exp fig12 -results results/perf.json
 //	sweep -exp fig13 -bench omnetpp,mcf -n 500000
+//	sweep -exp fig12 -backend procpool -shards 4 -results results/perf.json
+//	sweep -exp fig12 -results results/perf.json -resume
+//
+// A run killed mid-sweep (including Ctrl-C, which drains gracefully) loses
+// nothing: completed measurements are checkpointed next to -results, and a
+// rerun with -resume re-executes zero of them.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -24,6 +32,7 @@ import (
 )
 
 func main() {
+	experiments.MaybeWorker()
 	var (
 		exp        = flag.String("exp", "fig12", "experiment: fig12 or fig13")
 		benches    = flag.String("bench", "", "comma-separated benchmarks (default: all)")
@@ -38,11 +47,18 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "total simulation parallelism budget: concurrent machines x per-machine workers (0 = NumCPU)")
 		parallel   = flag.String("parallel", "auto", "in-machine parallel execution: auto (on when a selected benchmark is multithreaded and cores allow), on, or off (results identical)")
 		quantum    = flag.Int("quantum", 0, "synchronization quantum in cycles for multi-engine machines (0 = NoC lookahead; larger values are clamped to it)")
+		backend    = flag.String("backend", "inproc", "execution backend: inproc (worker pool in this process) or procpool (worker subprocesses)")
+		shards     = flag.Int("shards", 0, "procpool worker subprocess count (0 = default)")
+		resume     = flag.Bool("resume", false, "resume an interrupted run from the -results checkpoint journal")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *resume && *results == "" {
+		fatal(errors.New("-resume needs -results: the checkpoint journal lives next to the results cache"))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -82,9 +98,33 @@ func main() {
 	if !*quiet {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+	be, err := experiments.NewBackend(*backend, *shards, *traceCache)
+	if err != nil {
+		fatal(err)
+	}
+	if be != nil {
+		r.Backend = be
+		defer be.Close()
+	}
 	if err := r.Load(); err != nil {
 		fatal(err)
 	}
+	if *resume {
+		fmt.Fprintf(os.Stderr, "sweep: recovered %d checkpointed measurements\n", r.Recovered())
+	}
+
+	// Ctrl-C drains instead of killing: stop dispatching new simulations,
+	// let in-flight ones finish and journal, then save and point at -resume.
+	// A second Ctrl-C falls through to the default hard kill.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "sweep: interrupt - draining in-flight simulations (Ctrl-C again to kill)")
+		r.Stop()
+		signal.Stop(sigs)
+	}()
+
 	var names []string
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
@@ -96,7 +136,7 @@ func main() {
 	case "fig12":
 		data, err := experiments.Fig12(r, names)
 		if err != nil {
-			fatal(err)
+			stopOrFatal(r, err)
 		}
 		header := []string{"benchmark"}
 		for _, s := range experiments.StdSlices {
@@ -126,7 +166,7 @@ func main() {
 	case "fig13":
 		data, err := experiments.Fig13(r, names)
 		if err != nil {
-			fatal(err)
+			stopOrFatal(r, err)
 		}
 		header := []string{"benchmark"}
 		for _, c := range experiments.StdCaches {
@@ -159,6 +199,21 @@ func main() {
 	if err := r.Save(); err != nil {
 		fatal(err)
 	}
+	fmt.Fprintf(os.Stderr, "sweep: executed %d simulations\n", r.SimRuns())
+}
+
+// stopOrFatal handles an experiment error. A graceful interrupt (the
+// Ctrl-C drain) saves every completed measurement and exits 130 with a
+// -resume hint; any other error is fatal.
+func stopOrFatal(r *experiments.Runner, err error) {
+	if !errors.Is(err, experiments.ErrStopped) {
+		fatal(err)
+	}
+	if err := r.Save(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep: saving after interrupt:", err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: interrupted after %d simulations; completed measurements saved - rerun with -resume to continue\n", r.SimRuns())
+	os.Exit(130)
 }
 
 // machineWorkers resolves the -parallel mode into a per-machine worker

@@ -1,0 +1,106 @@
+// Package distrib provides pluggable execution backends for the experiment
+// runner: where a simulation request actually runs.
+//
+// Three layers implement the design (DESIGN.md, "Distributed execution
+// backends"):
+//
+//   - Inproc runs requests in the calling process behind a semaphore-bounded
+//     pool — the historical sweep behavior, extracted behind the interface.
+//   - Procpool fans requests out to N worker subprocesses over the
+//     length-prefixed SREQ/SRES binary frames (internal/trace), restarting
+//     crashed workers with a bounded per-request retry budget.
+//   - Journal is the checkpoint/resume layer: completed measurements are
+//     appended to a write-ahead journal next to the results cache, so a
+//     killed sweep resumes without re-executing any completed simulation.
+//     It composes with either execution backend rather than replacing it.
+//
+// Determinism: a backend only transports requests and results; the
+// simulation itself is a pure function of the request (the full
+// content-addressed cache key travels on the wire). Results are merged into
+// the runner's key-addressed cache, so inproc and procpool runs of the same
+// sweep produce reflect.DeepEqual-identical measurement sets and
+// byte-identical persisted caches regardless of completion order.
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"sharing/internal/trace"
+)
+
+// Backend executes simulation requests. Implementations must be safe for
+// concurrent Execute calls and bound their own parallelism; callers may
+// enqueue an entire sweep at once.
+type Backend interface {
+	// Execute runs one request to completion. A non-nil error reports a
+	// dispatch failure (backend closed, worker unrecoverable); simulation
+	// failures travel inside SimResult.Err so that deterministic errors
+	// (e.g. an unknown benchmark) are not retried as crashes.
+	Execute(req trace.SimRequest) (trace.SimResult, error)
+	// Close releases workers and rejects further Execute calls.
+	Close() error
+}
+
+// ErrClosed is returned by Execute after Close.
+var ErrClosed = errors.New("distrib: backend closed")
+
+// ErrStopped is returned by Execute for requests gated out by a drain
+// (Stopper.Stop): they were admitted to the backend's queue but never
+// executed. In-flight requests still complete normally.
+var ErrStopped = errors.New("distrib: backend draining")
+
+// Stopper is the optional drain interface: Stop makes queued-but-unstarted
+// Execute calls return ErrStopped while letting in-flight simulations finish.
+// Both built-in backends implement it; the sweep commands use it for the
+// graceful Ctrl-C drain.
+type Stopper interface {
+	Stop()
+}
+
+// RunFunc performs one simulation locally. The experiments runner supplies
+// it, keeping the simulation semantics (trace generation, parameter
+// construction) in one place for every backend.
+type RunFunc func(trace.SimRequest) (trace.SimResult, error)
+
+// Inproc is the in-process backend: today's semaphore-bounded worker pool
+// behind the Backend interface. Execute blocks until a slot frees, runs the
+// request on the calling goroutine, and returns its result — byte-identical
+// behavior to the pre-seam runner.
+type Inproc struct {
+	run     RunFunc
+	sem     chan struct{}
+	stopped atomic.Bool
+}
+
+// NewInproc builds an in-process backend bounded at workers concurrent
+// simulations (minimum 1).
+func NewInproc(workers int, run RunFunc) *Inproc {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Inproc{run: run, sem: make(chan struct{}, workers)}
+}
+
+// Execute implements Backend.
+func (b *Inproc) Execute(req trace.SimRequest) (trace.SimResult, error) {
+	b.sem <- struct{}{}
+	defer func() { <-b.sem }()
+	// The drain gate sits after the semaphore: an entire sweep may be queued
+	// here, and Stop must shed the queue, not just new arrivals.
+	if b.stopped.Load() {
+		return trace.SimResult{}, ErrStopped
+	}
+	return b.run(req)
+}
+
+// Stop implements Stopper: queued requests fail fast with ErrStopped, the
+// in-flight ones run to completion.
+func (b *Inproc) Stop() { b.stopped.Store(true) }
+
+// Close implements Backend. The pool owns no external resources.
+func (b *Inproc) Close() error { return nil }
+
+// String names the backend for progress banners.
+func (b *Inproc) String() string { return fmt.Sprintf("inproc(%d)", cap(b.sem)) }

@@ -12,7 +12,7 @@ func TestTraceCachePersistsAndReloads(t *testing.T) {
 	dir := t.TempDir()
 	r := tiny(t)
 	r.TraceCacheDir = dir
-	mt, err := r.traceFor("mcf", -1)
+	mt, err := r.traceFor("mcf", -1, r.traceLen(), r.seed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestTraceCachePersistsAndReloads(t *testing.T) {
 	// trace instead of regenerating, and get an identical result.
 	r2 := tiny(t)
 	r2.TraceCacheDir = dir
-	mt2, err := r2.traceFor("mcf", -1)
+	mt2, err := r2.traceFor("mcf", -1, r2.traceLen(), r2.seed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestTraceCachePersistsAndReloads(t *testing.T) {
 	r3 := tiny(t)
 	r3.TraceCacheDir = dir
 	r3.Seed = 8
-	if _, err := r3.traceFor("mcf", -1); err != nil {
+	if _, err := r3.traceFor("mcf", -1, r3.traceLen(), r3.seed()); err != nil {
 		t.Fatal(err)
 	}
 	files, _ = filepath.Glob(filepath.Join(dir, "*.strc"))
@@ -54,11 +54,11 @@ func TestTraceCachePhaseKeyed(t *testing.T) {
 	dir := t.TempDir()
 	r := tiny(t)
 	r.TraceCacheDir = dir
-	p0, err := r.traceFor("gcc", 0)
+	p0, err := r.traceFor("gcc", 0, r.traceLen(), r.seed())
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1, err := r.traceFor("gcc", 1)
+	p1, err := r.traceFor("gcc", 1, r.traceLen(), r.seed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestTraceCachePhaseKeyed(t *testing.T) {
 		t.Fatal("distinct phases produced identical traces")
 	}
 	// Reload phase 0 from disk (the in-memory memo now holds phase 1).
-	p0again, err := r.traceFor("gcc", 0)
+	p0again, err := r.traceFor("gcc", 0, r.traceLen(), r.seed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,18 +79,18 @@ func TestTraceCacheIgnoresCorruptFiles(t *testing.T) {
 	dir := t.TempDir()
 	r := tiny(t)
 	r.TraceCacheDir = dir
-	path := r.tracePath("mcf", -1)
+	path := r.tracePath("mcf", -1, r.traceLen(), r.seed())
 	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	mt, err := r.traceFor("mcf", -1)
+	mt, err := r.traceFor("mcf", -1, r.traceLen(), r.seed())
 	if err != nil || mt == nil {
 		t.Fatalf("corrupt cache entry must be regenerated, got err %v", err)
 	}
 	// The corrupt file is overwritten with a valid one.
 	r2 := tiny(t)
 	r2.TraceCacheDir = dir
-	mt2, err := r2.traceFor("mcf", -1)
+	mt2, err := r2.traceFor("mcf", -1, r2.traceLen(), r2.seed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestTraceCacheNoTempLeftovers(t *testing.T) {
 	dir := t.TempDir()
 	r := tiny(t)
 	r.TraceCacheDir = dir
-	if _, err := r.traceFor("mcf", -1); err != nil {
+	if _, err := r.traceFor("mcf", -1, r.traceLen(), r.seed()); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func sampleRequest() SimRequest {
+	return SimRequest{
+		ID:            42,
+		Bench:         "omnetpp",
+		Phase:         -1,
+		Slices:        4,
+		CacheKB:       512,
+		TraceLen:      500_000,
+		Seed:          2014,
+		OpNetW:        2,
+		Quantum:       7,
+		SampleEnabled: true,
+		SampleWindow:  1000,
+		SamplePeriod:  15000,
+		SampleWarmup:  -1,
+		SampleSeed:    3,
+	}
+}
+
+func sampleResult() SimResult {
+	return SimResult{
+		ID:      42,
+		Cycles:  204864,
+		Insts:   500_000,
+		Sampled: true,
+		Windows: 33,
+		RelCI95: 0.0123,
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range []SimRequest{
+		sampleRequest(),
+		{ID: 0, Bench: "gcc", Phase: 3, Slices: 1, CacheKB: 0, TraceLen: 8000, Seed: -7},
+	} {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != req {
+			t.Fatalf("round trip: got %+v want %+v", got, req)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	for _, res := range []SimResult{
+		sampleResult(),
+		{ID: 9, Cycles: 100, Insts: 80},
+		{ID: 1, Err: "unknown benchmark \"nope\""},
+	} {
+		var buf bytes.Buffer
+		if err := WriteResult(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadResult(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != res {
+			t.Fatalf("round trip: got %+v want %+v", got, res)
+		}
+	}
+}
+
+// TestFrameStream checks that frames are self-delimiting: several frames on
+// one pipe decode in order and the stream ends with a clean io.EOF.
+func TestFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 5; i++ {
+		req := sampleRequest()
+		req.ID = i
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		req, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.ID != i {
+			t.Fatalf("frame %d decoded with id %d", i, req.ID)
+		}
+	}
+	if _, err := ReadRequest(&buf); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestTornFrames exercises the crash surface: truncated envelopes and
+// payloads must fail loudly (never block, never return garbage), and a
+// mid-stream EOF must not masquerade as the clean shutdown signal.
+func TestTornFrames(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteResult(&full, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, err := ReadResult(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", cut, len(raw))
+		}
+		if err == io.EOF {
+			t.Fatalf("truncation at %d/%d bytes returned clean io.EOF", cut, len(raw))
+		}
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrBadTrace", cut, err)
+		}
+	}
+}
+
+func TestBadMagicAndOversizedFrame(t *testing.T) {
+	if _, err := ReadResult(bytes.NewReader([]byte("SREQ\x00\x00\x00\x00"))); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("request magic accepted as result: %v", err)
+	}
+	// A corrupt length prefix must be rejected before allocation.
+	hdr := []byte{'S', 'R', 'E', 'S', 0xff, 0xff, 0xff, 0x7f}
+	if _, err := ReadResult(bytes.NewReader(hdr)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+}
+
+func TestResultErrorFrameNeedsMessage(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft an error frame with an empty message.
+	var f frameWriter
+	f.putU(distCodecVersion)
+	f.putU(1)
+	f.buf.WriteByte(1)
+	f.putBytes(nil)
+	if err := f.flush(&buf, resMagic); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResult(&buf); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("empty error message accepted: %v", err)
+	}
+}
+
+// BenchmarkResultCodec measures the per-measurement serialization cost of
+// the procpool wire protocol: one request encode+decode plus one result
+// encode+decode, i.e. both ends of a full dispatch round trip. Recorded in
+// BENCH_ssim.json ("distrib"): the cost must be noise against a multi-ms
+// simulation.
+func BenchmarkResultCodec(b *testing.B) {
+	req := sampleRequest()
+	res := sampleResult()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteRequest(&buf, req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadRequest(&buf); err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		if err := WriteResult(&buf, res); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadResult(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
