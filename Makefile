@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-parallel race-determinism bench bench-fleet lint lint-strict market-smoke fleet-smoke distrib-smoke check
+.PHONY: build vet test race race-parallel race-determinism bench bench-fleet lint lint-strict market-smoke fleet-smoke distrib-smoke serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The simulator core and the parallel sweep runner are the only packages
-# with internal concurrency; run them under the race detector.
+# The simulator core, the parallel sweep runner, and the concurrent
+# allocation library; run them under the race detector.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiments
+	$(GO) test -race ./internal/sim ./internal/experiments ./internal/alloc
 
 # The quantum-execution differential matrix (parallel vs sequential,
 # byte-identical, every workload x machine width) under the race detector:
@@ -90,4 +90,17 @@ distrib-smoke:
 	cmp /tmp/ssim-distrib-smoke/inproc.json /tmp/ssim-distrib-smoke/procpool.json
 	rm -rf /tmp/ssim-distrib-smoke
 
-check: build vet test race race-parallel race-determinism lint market-smoke fleet-smoke distrib-smoke
+# Allocation-serving acceptance: the concurrent allocation library and the
+# server-shaped SurfaceCache load under the race detector (concurrent results
+# must DeepEqual the sequential reference), the daemon endpoint/drain and
+# load-test subprocess tests, then the real load-test harness through
+# `go run`: sustained bid serving on closed-form surfaces with concurrent
+# churn, gated at 2,000 req/s with end-to-end verification (the
+# BENCH_ssim.json "serve" block).
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/alloc
+	$(GO) test -race -count=1 -run 'TestSurfaceCacheServerLoad' ./internal/market
+	$(GO) test -count=1 ./cmd/sharingd
+	$(GO) run ./cmd/sharingd -loadtest -synthetic -duration 5s -clients 8 -min-rps 2000
+
+check: build vet test race race-parallel race-determinism lint market-smoke fleet-smoke distrib-smoke serve-smoke

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -69,7 +70,7 @@ func main() {
 		r := newRunner(*n, *results, *quiet)
 		res, err := experiments.Fig17K(r, names, 2, *steps)
 		if err != nil {
-			fatal(err)
+			stopOrFatal(r, err)
 		}
 		fmt.Printf("Fig. 17K - datacenter utility over %d-type area shares (perf^2/area optima):\n", len(res.Types))
 		for _, ct := range res.Types {
@@ -126,7 +127,7 @@ func main() {
 	start := time.Now()
 	rep, err := f.Run()
 	if err != nil {
-		fatal(err)
+		stopOrFatal(r, err)
 	}
 	//ssim:nolint detrand: wall-clock here only times the run for the events/s banner; it never feeds results
 	wall := time.Since(start)
@@ -164,7 +165,34 @@ func newRunner(n int, results string, quiet bool) *experiments.Runner {
 	if runnerResume {
 		fmt.Fprintf(os.Stderr, "fleet: recovered %d checkpointed measurements\n", r.Recovered())
 	}
+	// Ctrl-C drains instead of killing: stop dispatching new simulations,
+	// let in-flight ones finish and journal, then save and point at -resume.
+	// A second Ctrl-C falls through to the default hard kill — same contract
+	// as cmd/sweep. (Synthetic runs have no runner and keep the default
+	// kill: there is nothing to checkpoint.)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "fleet: interrupt - draining in-flight simulations (Ctrl-C again to kill)")
+		r.Stop()
+		signal.Stop(sigs)
+	}()
 	return r
+}
+
+// stopOrFatal handles an experiment error. A graceful interrupt (the
+// Ctrl-C drain) saves every completed measurement and exits 130 with a
+// -resume hint; any other error is fatal.
+func stopOrFatal(r *experiments.Runner, err error) {
+	if r == nil || !errors.Is(err, experiments.ErrStopped) {
+		fatal(err)
+	}
+	if err := r.Save(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet: saving after interrupt:", err)
+	}
+	fmt.Fprintf(os.Stderr, "fleet: interrupted after %d simulations; completed measurements saved - rerun with -resume to continue\n", r.SimRuns())
+	os.Exit(130)
 }
 
 func saveRunner(r *experiments.Runner) {

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"sharing/internal/econ"
@@ -71,6 +72,19 @@ func main() {
 	if *resume {
 		fmt.Fprintf(os.Stderr, "market: recovered %d checkpointed measurements\n", r.Recovered())
 	}
+
+	// Ctrl-C drains instead of killing: stop dispatching new simulations,
+	// let in-flight ones finish and journal, then save and point at -resume.
+	// A second Ctrl-C falls through to the default hard kill — same contract
+	// as cmd/sweep.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "market: interrupt - draining in-flight simulations (Ctrl-C again to kill)")
+		r.Stop()
+		signal.Stop(sigs)
+	}()
 	var names []string
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
@@ -79,7 +93,7 @@ func main() {
 	if *churn {
 		rep, err := experiments.ChurnScenario(r, names, econ.Supply{Slices: 64, Banks: 128}, *probeBudget)
 		if err != nil {
-			fatal(err)
+			stopOrFatal(r, err)
 		}
 		var out [][]string
 		for _, ev := range rep.Events {
@@ -125,7 +139,7 @@ func main() {
 			rows, _, err = experiments.Table4(r, names)
 		}
 		if err != nil {
-			fatal(err)
+			stopOrFatal(r, err)
 		}
 		var out [][]string
 		for _, row := range rows {
@@ -141,13 +155,13 @@ func main() {
 			var err error
 			rows, st, err = experiments.Table6Incremental(r, names, *probeBudget)
 			if err != nil {
-				fatal(err)
+				stopOrFatal(r, err)
 			}
 			defer printEconomy(st, r)
 		} else {
 			_, suite, err := experiments.Table4(r, names)
 			if err != nil {
-				fatal(err)
+				stopOrFatal(r, err)
 			}
 			rows = experiments.Table6(suite)
 		}
@@ -176,7 +190,7 @@ func main() {
 		}
 		surfs, err := experiments.Fig14(r, names, []int{1, 2})
 		if err != nil {
-			fatal(err)
+			stopOrFatal(r, err)
 		}
 		for _, s := range surfs {
 			fmt.Printf("Fig. 14 - %s Utility%d (rows: log2 banks, cols: slices; 0-9 = utility/max)\n", s.Bench, s.K)
@@ -200,7 +214,7 @@ func main() {
 	case "fig15", "fig16":
 		_, suite, err := experiments.Table4(r, names)
 		if err != nil {
-			fatal(err)
+			stopOrFatal(r, err)
 		}
 		var gains []econ.PairGain
 		if *exp == "fig15" {
@@ -239,7 +253,7 @@ func main() {
 	case "fig17":
 		points, big, small, err := experiments.Fig17(r)
 		if err != nil {
-			fatal(err)
+			stopOrFatal(r, err)
 		}
 		fmt.Printf("Fig. 17 - datacenter utility vs big-core area fraction (big = %v,\n", big.Cfg)
 		fmt.Printf("small = %v); application mix = fraction of hmmer jobs\n", small.Cfg)
@@ -276,6 +290,20 @@ func main() {
 func printEconomy(st market.Stats, r *experiments.Runner) {
 	fmt.Printf("incremental: %d searches, %d probes (%d simulator runs) vs %d grid measurements for %d surfaces; %d fallbacks\n",
 		st.Searches, st.Probes, r.SimRuns(), st.GridProbes, st.Surfaces, st.Fallbacks)
+}
+
+// stopOrFatal handles an experiment error. A graceful interrupt (the
+// Ctrl-C drain) saves every completed measurement and exits 130 with a
+// -resume hint; any other error is fatal.
+func stopOrFatal(r *experiments.Runner, err error) {
+	if !errors.Is(err, experiments.ErrStopped) {
+		fatal(err)
+	}
+	if err := r.Save(); err != nil {
+		fmt.Fprintln(os.Stderr, "market: saving after interrupt:", err)
+	}
+	fmt.Fprintf(os.Stderr, "market: interrupted after %d simulations; completed measurements saved - rerun with -resume to continue\n", r.SimRuns())
+	os.Exit(130)
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sharing/internal/alloc"
+	"sharing/internal/econ"
+	"sharing/internal/experiments"
+	"sharing/internal/fleet"
+	"sharing/internal/market"
+)
+
+// The daemon tests drive the real sharingd binary: TestMain re-execs this
+// test binary with runMainEnv set, which runs sharingd's main() on the
+// scripted flags — the same pattern as cmd/sweep.
+const runMainEnv = "SHARINGD_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(runMainEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func sharingdCmd(args ...string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), runMainEnv+"=1")
+	return cmd
+}
+
+// startDaemon launches sharingd on a kernel-assigned loopback port and
+// returns the base URL once the listening line appears on stderr, plus a
+// function that delivers SIGINT and collects (exit error, full stderr).
+func startDaemon(t *testing.T, args ...string) (string, func() (error, string)) {
+	t.Helper()
+	cmd := sharingdCmd(append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	var tail strings.Builder
+	var base string
+	deadline := time.After(30 * time.Second)
+	for base == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				cmd.Wait()
+				t.Fatalf("sharingd exited before listening; stderr:\n%s", tail.String())
+			}
+			fmt.Fprintln(&tail, line)
+			if rest, found := strings.CutPrefix(line, "sharingd: listening on "); found {
+				base = "http://" + strings.TrimSpace(rest)
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatalf("sharingd never printed its listening line; stderr:\n%s", tail.String())
+		}
+	}
+
+	stop := func() (error, string) {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					err := <-done
+					return err, tail.String()
+				}
+				fmt.Fprintln(&tail, line)
+			case <-time.After(60 * time.Second):
+				cmd.Process.Kill()
+				return fmt.Errorf("drain timed out"), tail.String()
+			}
+		}
+	}
+	return base, stop
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: %v\n%s", url, err, body)
+	}
+}
+
+// post sends v and decodes a 200 reply into out; a non-200 status is
+// returned as an error with the server's message.
+func post(url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// TestDaemonEndpointsAndDrain boots a synthetic-surface daemon, walks every
+// endpoint over real HTTP — checking the served bid against an in-test
+// sequential engine pricing the same request over the same closed-form
+// surfaces — then SIGINTs it and verifies the graceful drain: the drain
+// banner, the final op accounting line, and a zero exit.
+func TestDaemonEndpointsAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the daemon in a subprocess")
+	}
+	base, stop := startDaemon(t, "-synthetic")
+
+	// Liveness first.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+
+	// A served bid must match a from-scratch sequential pricing of the same
+	// request in THIS process — same closed-form surfaces, same lattice and
+	// supply defaults as main(), crossing a process and JSON boundary.
+	u := econ.Utility2()
+	m := econ.Market2()
+	ref, err := market.New(market.Params{
+		Slices: experiments.StdSlices, CacheKB: experiments.StdCaches,
+		Supply: econ.Supply{Slices: 64, Banks: 128},
+	}, fleet.SyntheticProber{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.PriceBidAt("smoke-bench", u, m, econ.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br market.BidResult
+	if err := post(base+"/v1/bid", bidRequest{
+		Bench: "smoke-bench", K: u.K, Budget: u.Budget,
+		Market: &marketSpec{Name: m.Name},
+	}, &br); err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.NormalizeBid(br); !reflect.DeepEqual(got, alloc.NormalizeBid(want)) {
+		t.Fatalf("served bid diverged from sequential reference:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Membership lifecycle: arrive → vm → phase → market → depart.
+	var rc receiptReply
+	if err := post(base+"/v1/arrive", arriveRequest{Name: "vm1", Bench: "smoke-bench", K: u.K, Budget: u.Budget}, &rc); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Seq != 1 || rc.Epoch != 1 || rc.Residents != 1 || rc.Allocation == nil {
+		t.Fatalf("arrive receipt: %+v", rc)
+	}
+	var vm alloc.VMStat
+	getJSON(t, base+"/v1/vm?name=vm1", &vm)
+	if vm.Name != "vm1" || vm.Bench != "smoke-bench" {
+		t.Fatalf("vm snapshot: %+v", vm)
+	}
+	if err := post(base+"/v1/phase", phaseRequest{Name: "vm1", Phase: 1}, &rc); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Seq != 2 || rc.Reconfig == nil {
+		t.Fatalf("phase receipt (reconfig plan expected for a warm VM): %+v", rc)
+	}
+	var mkt marketReply
+	getJSON(t, base+"/v1/market", &mkt)
+	if mkt.Epoch != 2 || len(mkt.VMs) != 1 || mkt.TotalU <= 0 {
+		t.Fatalf("market snapshot: %+v", mkt)
+	}
+	if err := post(base+"/v1/depart", nameRequest{Name: "vm1"}, &rc); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Seq != 3 || rc.Residents != 0 {
+		t.Fatalf("depart receipt: %+v", rc)
+	}
+
+	// Error contract: malformed and unknown requests are clean JSON errors,
+	// not 500s, and land in the error counter.
+	if err := post(base+"/v1/depart", nameRequest{Name: "ghost"}, nil); err == nil || !strings.Contains(err.Error(), "422") {
+		t.Fatalf("ghost depart: want 422, got %v", err)
+	}
+	if err := post(base+"/v1/bid", map[string]any{"bench": "x", "bogus": 1}, nil); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown field: want 400, got %v", err)
+	}
+	if resp, err := http.Get(base + "/v1/vm?name=ghost"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost vm: want 404, got %v %v", resp.Status, err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// Telemetry: per-endpoint counters and allocator stats over /v1/stats,
+	// and the same data on the expvar page.
+	var st statsReply
+	getJSON(t, base+"/v1/stats", &st)
+	if st.HTTP["bid"] < 2 || st.HTTP["arrive"] != 1 || st.HTTP["errors"] < 3 {
+		t.Fatalf("http counters: %+v", st.HTTP)
+	}
+	if st.Alloc.Epochs != 3 || st.Alloc.Ops != 3 || st.Alloc.Bids < 1 {
+		t.Fatalf("alloc stats: %+v", st.Alloc)
+	}
+	var vars struct {
+		Sharingd *statsReply `json:"sharingd"`
+	}
+	getJSON(t, base+"/debug/vars", &vars)
+	if vars.Sharingd == nil || vars.Sharingd.HTTP["bid"] < 2 {
+		t.Fatalf("expvar page missing sharingd var: %+v", vars.Sharingd)
+	}
+
+	// SIGINT: graceful drain, accounting line, exit 0.
+	err, out := stop()
+	if err != nil {
+		t.Fatalf("drain exited nonzero: %v\nstderr:\n%s", err, out)
+	}
+	if !strings.Contains(out, "draining in-flight requests") {
+		t.Fatalf("no drain banner; stderr:\n%s", out)
+	}
+	if !strings.Contains(out, "sharingd: drained - ") {
+		t.Fatalf("no drain accounting line; stderr:\n%s", out)
+	}
+}
+
+// TestLoadTestHarness runs the -loadtest mode end to end in a subprocess
+// with a short window and checks the printed summary: requests flowed, the
+// percentiles are ordered, and the end-to-end verification (every bid
+// DeepEqual-checked, final clearing replayed sequentially) passed.
+func TestLoadTestHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a timed load test in a subprocess")
+	}
+	cmd := sharingdCmd("-loadtest", "-synthetic", "-duration", "1s", "-clients", "4", "-min-rps", "1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("loadtest: %v\nstderr:\n%s", err, stderr.String())
+	}
+	var sum ltSummary
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("summary: %v\n%s", err, stdout.String())
+	}
+	if !sum.Verified {
+		t.Fatalf("loadtest summary not verified: %+v", sum)
+	}
+	if sum.Requests == 0 || sum.RPS <= 0 || sum.ChurnOps == 0 {
+		t.Fatalf("empty loadtest: %+v", sum)
+	}
+	if sum.P50Ms <= 0 || sum.P99Ms < sum.P50Ms {
+		t.Fatalf("percentiles out of order: %+v", sum)
+	}
+	if sum.Epochs == 0 || sum.CacheHitRate <= 0.5 {
+		t.Fatalf("serving stats implausible: %+v", sum)
+	}
+}

@@ -1,0 +1,318 @@
+// Package alloc is the concurrent-safe allocation library behind the
+// sharing-as-a-service control plane (ROADMAP item 1; cmd/sharingd is the
+// HTTP face). It refactors the batch-shaped pricing machinery — one
+// goroutine, one lock, one bid at a time (internal/market.Engine) — into an
+// Allocator that many goroutines drive simultaneously at thousands of bids
+// per second:
+//
+//   - The hot read side is the lock-free market.SurfaceCache snapshot path:
+//     a warm bid's probes are one atomic load plus one map lookup each, no
+//     lock anywhere. Cold probes singleflight on the cache's per-surface
+//     mutex, so a thundering herd on a new benchmark costs one simulator
+//     run per configuration.
+//
+//   - Per-bid search state is goroutine-local and every search is PURE:
+//     each one checks out a pooled econ.Optimizer, Reset so its memo is
+//     empty, and ascends from the same fixed lattice start — the sharded
+//     fleet's PriceBidAt purity precedent. The incremental search is only
+//     guaranteed to equal the exhaustive argmax on basin-shaped surfaces;
+//     from a fixed start over memoized surface data its result is a pure
+//     function of (surface, prices, utility) on ANY surface, which is the
+//     property concurrency actually needs. Warm-start hints were rejected
+//     here deliberately: a racy hint would make bid results depend on
+//     scheduling whenever a surface is not basin-shaped.
+//
+//   - Market clearing is batched: Arrive/Depart/Reconfigure submit ops to a
+//     group-commit queue, and whichever goroutine finds the queue unled
+//     becomes the epoch leader, drains everything pending, applies the ops
+//     in submission order, and runs ONE tatonnement reprice for the whole
+//     batch instead of N serialized ones. Followers block until their op's
+//     epoch commits and share its ClearingResult.
+//
+// Determinism: a concurrent run's outcome is reflect.DeepEqual-identical to
+// a sequential one-op-at-a-time serialization of the same committed op
+// stream (see ReplaySequential and the race tests). The argument has two
+// halves. Bids are pure functions of (surface, prices, utility) — fixed
+// start, Reset-fresh memo, immutable cache snapshots — so concurrent bids
+// equal sequential from-scratch pricings of the same requests. Clearing is
+// leader-serialized AND built from pure responses: ops commit in a total
+// order (the op log), each epoch's single reprice runs ClearMarketWith over
+// residents in arrival order from the standard starting prices, and every
+// resident response is the same pure search — so a clearing's outcome
+// depends only on the resident set it covers, never on how many ops were
+// batched into the epoch that produced it (DESIGN.md §8).
+package alloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sharing/internal/econ"
+	"sharing/internal/market"
+)
+
+// WholeProgram marks a bid or resident running its whole benchmark.
+const WholeProgram = market.WholeProgram
+
+// Params configures an Allocator.
+type Params struct {
+	// Slices and CacheKB are the configuration lattice axes
+	// (experiments.StdSlices / StdCaches for the paper's grid).
+	Slices, CacheKB []int
+	// ProbeBudget bounds probes per search before the exhaustive fallback.
+	// It defaults to the lattice size, which disables the fallback by
+	// construction (a search cannot issue more distinct probes than the
+	// lattice holds): searches are Reset-fresh, so any budget is
+	// deterministic per (surface, prices, start), but the lattice default
+	// also makes FellBack receipts impossible rather than merely
+	// deterministic.
+	ProbeBudget int
+	// Supply is the chip's rentable resources for market clearing.
+	Supply econ.Supply
+	// Tol and MaxIter are the tatonnement parameters (econ.ClearMarketWith
+	// defaults if 0).
+	Tol     float64
+	MaxIter int
+	// Surfaces, when set, is a shared probe memo (e.g. one cache shared
+	// with a fleet simulation); prober may then be nil. When nil, New
+	// builds a private cache over prober.
+	Surfaces *market.SurfaceCache
+}
+
+// surfKey identifies one performance surface: a benchmark, or one phase.
+type surfKey struct {
+	bench string
+	phase int
+}
+
+// Allocator serves allocation requests concurrently. All methods are safe
+// for concurrent use; PriceBid and the read-side snapshot methods take no
+// lock at all on the warm path.
+type Allocator struct {
+	p       Params
+	cache   *market.SurfaceCache
+	lattice int
+
+	// opts pools goroutine-local search state; every Get is Reset-fresh.
+	opts sync.Pool
+
+	// view is the immutable market snapshot published at each epoch commit;
+	// readers load it lock-free.
+	view atomic.Pointer[View]
+
+	// Group-commit clearing state. qmu guards only the queue and the
+	// leader flag; membership state (residents, order, seq) is owned by
+	// the current epoch leader — leadership hand-off through qmu gives the
+	// next leader a happens-before edge over all of it.
+	qmu     sync.Mutex
+	pending []*op
+	leading bool
+
+	residents map[string]*resident
+	order     []*resident // arrival order: the clearing's bidder order
+	seq       uint64
+	epoch     uint64
+
+	// logMu guards the committed-op journal (appends are per-op, reads are
+	// the determinism verifier's).
+	logMu sync.Mutex
+	log   []OpRecord
+
+	stats counters
+}
+
+// resident is one market participant; it implements econ.Bidder. Respond
+// is only ever invoked by the epoch leader (inside the batch reprice), so
+// its fields need no lock. last/warm track the resident's most recent
+// optimum for the published view and the phase-change reconfiguration plan;
+// they deliberately do NOT seed searches (purity, see the package comment).
+type resident struct {
+	a      *Allocator
+	name   string
+	bench  string
+	phase  int
+	util   econ.Utility
+	last   econ.Config
+	warm   bool
+	joined uint64 // committing op's sequence number
+}
+
+// BidderName implements econ.Bidder.
+func (r *resident) BidderName() string { return r.name }
+
+// Respond implements econ.Bidder by a pure goroutine-local search at
+// prices m.
+func (r *resident) Respond(m econ.Market) (econ.Config, float64, float64, error) {
+	res, err := r.a.search(r.key(), nil, r.util, m)
+	if err != nil {
+		return econ.Config{}, 0, 0, err
+	}
+	r.last, r.warm = res.Best, true
+	cost := m.Cost(res.Best)
+	vcores := 0.0
+	if cost > 0 {
+		vcores = r.util.Budget / cost
+	}
+	return res.Best, vcores, res.Score, nil
+}
+
+func (r *resident) key() surfKey { return surfKey{bench: r.bench, phase: r.phase} }
+
+// New builds an Allocator over the given lattice and prober. With
+// p.Surfaces set, prober may be nil: all probes go through the shared
+// cache.
+func New(p Params, prober market.Prober) (*Allocator, error) {
+	if len(p.Slices) == 0 || len(p.CacheKB) == 0 {
+		return nil, fmt.Errorf("alloc: empty lattice axes")
+	}
+	if _, err := econ.NewOptimizer(p.Slices, p.CacheKB); err != nil {
+		return nil, fmt.Errorf("alloc: %w", err)
+	}
+	if p.Supply.Slices <= 0 {
+		return nil, fmt.Errorf("alloc: invalid supply %+v", p.Supply)
+	}
+	cache := p.Surfaces
+	if cache == nil {
+		var err error
+		cache, err = market.NewSurfaceCache(prober)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: %w", err)
+		}
+	}
+	lattice := len(p.Slices) * len(p.CacheKB)
+	if p.ProbeBudget <= 0 {
+		p.ProbeBudget = lattice
+	}
+	a := &Allocator{
+		p:         p,
+		cache:     cache,
+		lattice:   lattice,
+		residents: make(map[string]*resident),
+	}
+	a.opts.New = func() any {
+		o, err := econ.NewOptimizer(a.p.Slices, a.p.CacheKB)
+		if err != nil {
+			// The axes were validated in New; this cannot fail.
+			panic(err)
+		}
+		o.Budget = a.p.ProbeBudget
+		return o
+	}
+	a.view.Store(&View{Prices: econ.Market2()})
+	return a, nil
+}
+
+// LatticeSize returns the probe cost of one exhaustive grid sweep.
+func (a *Allocator) LatticeSize() int { return a.lattice }
+
+// Params returns the allocator's resolved parameters (ProbeBudget defaulted
+// to the lattice size). Callers building a sequential reference engine pair
+// it with Cache() to share the probe economy.
+func (a *Allocator) Params() Params { return a.p }
+
+// Cache returns the shared surface memo (for wiring several consumers onto
+// one probe economy, and for the cache hit/miss telemetry).
+func (a *Allocator) Cache() *market.SurfaceCache { return a.cache }
+
+// probeFn routes one surface's probes through the shared cache, counting
+// lookups for the hit/miss telemetry.
+func (a *Allocator) probeFn(k surfKey) econ.ProbeFn {
+	return func(cfg econ.Config) (float64, error) {
+		a.stats.probeLookups.Add(1)
+		return a.cache.Probe(k.bench, k.phase, cfg)
+	}
+}
+
+// search runs one pure, goroutine-local search: a pooled Reset-fresh
+// Optimizer ascending from the fixed lattice start (econ.Config{} resolves
+// to the midpoint), probing through the lock-free cache. A nil obj scores
+// configurations by utility at prices m. The result is a deterministic
+// function of (surface, obj, prices) — independent of scheduling, pool
+// history, and every other request in flight.
+//
+//ssim:parallel
+func (a *Allocator) search(k surfKey, obj econ.Objective, u econ.Utility, m econ.Market) (econ.SearchResult, error) {
+	if k.phase != WholeProgram && !a.cache.Phased() {
+		return econ.SearchResult{}, fmt.Errorf("alloc: prober cannot measure phases (bench %s phase %d)", k.bench, k.phase)
+	}
+	if obj == nil {
+		obj = func(perf float64, cfg econ.Config) float64 { return u.Value(m, perf, cfg) }
+	}
+	opt := a.opts.Get().(*econ.Optimizer)
+	res, err := opt.Search(obj, m, econ.Config{}, a.probeFn(k))
+	opt.Reset()
+	a.opts.Put(opt)
+	if err != nil {
+		return econ.SearchResult{}, err
+	}
+	a.stats.searches.Add(1)
+	if res.FellBack {
+		a.stats.fallbacks.Add(1)
+	}
+	return res, nil
+}
+
+// PriceBid prices one stand-alone bid: the utility-maximizing configuration
+// for the benchmark at prices m. It is the serving hot path — entirely
+// lock-free against a warm cache — and does not touch market membership.
+//
+//ssim:parallel
+func (a *Allocator) PriceBid(bench string, u econ.Utility, m econ.Market) (market.BidResult, error) {
+	return a.priceBid(surfKey{bench: bench, phase: WholeProgram}, nil, u, m)
+}
+
+// PriceBidObjective is PriceBid with an explicit scoring objective (e.g.
+// the fleet's utility-per-watt); a nil obj means utility at prices m.
+//
+//ssim:parallel
+func (a *Allocator) PriceBidObjective(bench string, u econ.Utility, m econ.Market, obj econ.Objective) (market.BidResult, error) {
+	return a.priceBid(surfKey{bench: bench, phase: WholeProgram}, obj, u, m)
+}
+
+//ssim:parallel
+func (a *Allocator) priceBid(k surfKey, obj econ.Objective, u econ.Utility, m econ.Market) (market.BidResult, error) {
+	a.stats.inflight.Add(1)
+	defer a.stats.inflight.Add(-1)
+	res, err := a.search(k, obj, u, m)
+	if err != nil {
+		return market.BidResult{}, err
+	}
+	a.stats.bids.Add(1)
+	cost := m.Cost(res.Best)
+	// Warm is always false: allocator searches never warm-start (purity).
+	// Cache warmth is visible in aggregate via Stats().CacheMisses instead.
+	br := market.BidResult{
+		Config: res.Best, Perf: res.Perf, Utility: res.Score, Cost: cost,
+		Probes: res.Probes, FellBack: res.FellBack,
+	}
+	if cost > 0 {
+		br.VCores = u.Budget / cost
+	}
+	return br, nil
+}
+
+// Prices returns the current market price vector: the last clearing's
+// prices, or the standard area prices (Market2) before any clearing.
+// Lock-free.
+func (a *Allocator) Prices() econ.Market {
+	v := a.view.Load()
+	if v.Result != nil {
+		return v.Result.Prices
+	}
+	return v.Prices
+}
+
+// Snapshot returns the immutable market view published by the last epoch
+// commit. Lock-free; callers must not mutate it.
+func (a *Allocator) Snapshot() *View { return a.view.Load() }
+
+// VM returns the named resident's published stats, if present. Lock-free.
+func (a *Allocator) VM(name string) (VMStat, bool) {
+	v := a.view.Load()
+	i, ok := v.byName[name]
+	if !ok {
+		return VMStat{}, false
+	}
+	return v.VMs[i], true
+}

@@ -86,6 +86,18 @@ func (o *Optimizer) LatticeSize() int { return len(o.slices) * len(o.caches) }
 // misses) over the Optimizer's lifetime.
 func (o *Optimizer) Probes() int { return o.probes }
 
+// Reset clears the probe memo and counters, keeping the axes and budget.
+// It exists for goroutine-local reuse: the concurrent allocation library
+// (internal/alloc) pools Optimizers and resets one per search, so every
+// search starts from an empty memo — its probe count and budget behavior
+// are then a pure function of (surface, prices, start), never of which
+// pooled instance served the previous search — while the actual measurement
+// memoization lives in the shared, concurrency-safe market.SurfaceCache.
+func (o *Optimizer) Reset() {
+	clear(o.memo)
+	o.probes = 0
+}
+
 // Known returns the memoized performance for cfg, if it has been probed.
 func (o *Optimizer) Known(cfg Config) (float64, bool) {
 	p, ok := o.memo[cfg]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sharing/internal/alloc"
 	"sharing/internal/econ"
 	"sharing/internal/hypervisor"
 	"sharing/internal/market"
@@ -50,6 +51,23 @@ func NewEngine(r *Runner, supply econ.Supply, probeBudget int) (*market.Engine, 
 		supply = econ.Supply{Slices: 64, Banks: 128}
 	}
 	return market.New(market.Params{
+		Slices:      StdSlices,
+		CacheKB:     StdCaches,
+		ProbeBudget: probeBudget,
+		Supply:      supply,
+	}, RunnerProber{R: r})
+}
+
+// NewAllocator builds a concurrent-safe allocator (internal/alloc) over the
+// standard lattice, probing through r — the serving counterpart of
+// NewEngine, used by cmd/sharingd. Supply and probeBudget default as in
+// NewEngine (probeBudget 0 further defaults to the lattice size inside
+// alloc.New, disabling the exhaustive fallback).
+func NewAllocator(r *Runner, supply econ.Supply, probeBudget int) (*alloc.Allocator, error) {
+	if supply.Slices == 0 && supply.Banks == 0 {
+		supply = econ.Supply{Slices: 64, Banks: 128}
+	}
+	return alloc.New(alloc.Params{
 		Slices:      StdSlices,
 		CacheKB:     StdCaches,
 		ProbeBudget: probeBudget,

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"math"
 
 	"sharing/internal/econ"
@@ -30,4 +31,13 @@ func (SyntheticProber) Probe(bench string, cfg econ.Config) (float64, error) {
 	kb := float64(cfg.CacheKB)
 	perf := base * math.Pow(float64(cfg.Slices), alpha) * (1 + boost*kb/(kb+knee))
 	return perf, nil
+}
+
+// ProbePhase implements market.PhaseProber: phase p of a benchmark is the
+// closed-form surface of the derived name "bench#p", so consecutive phases
+// get independent (but deterministic) shapes. It lets phase churn be
+// exercised end to end — allocator reconfiguration, sharingd's phase
+// endpoint — without the cycle-level simulator.
+func (p SyntheticProber) ProbePhase(bench string, phase int, cfg econ.Config) (float64, error) {
+	return p.Probe(fmt.Sprintf("%s#%d", bench, phase), cfg)
 }

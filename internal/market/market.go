@@ -225,7 +225,7 @@ func (e *Engine) surfaceFor(k surfaceKey) (*surface, error) {
 // canPhase reports whether this engine can measure phase surfaces.
 func (e *Engine) canPhase() bool {
 	if e.p.Surfaces != nil {
-		return e.p.Surfaces.phased()
+		return e.p.Surfaces.Phased()
 	}
 	_, ok := e.prober.(PhaseProber)
 	return ok
@@ -378,7 +378,10 @@ func (e *Engine) SetPhase(name string, phase int) (*econ.ClearingResult, Reconfi
 	if !ok {
 		return nil, ReconfigEvent{}, fmt.Errorf("market: no customer %q", name)
 	}
-	if _, ok := e.prober.(PhaseProber); !ok {
+	// canPhase, not a direct prober assertion: a shared-cache engine has a
+	// nil prober and measures phases through the cache when its underlying
+	// prober can.
+	if !e.canPhase() {
 		return nil, ReconfigEvent{}, fmt.Errorf("market: prober cannot measure phases")
 	}
 	from := c.last

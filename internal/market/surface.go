@@ -50,8 +50,9 @@ func NewSurfaceCache(prober Prober) (*SurfaceCache, error) {
 	return &SurfaceCache{prober: prober}, nil
 }
 
-// phased reports whether the underlying prober can measure phases.
-func (c *SurfaceCache) phased() bool {
+// Phased reports whether the underlying prober can measure phases, i.e.
+// whether per-phase surfaces can be served through this cache.
+func (c *SurfaceCache) Phased() bool {
 	_, ok := c.prober.(PhaseProber)
 	return ok
 }

@@ -183,3 +183,94 @@ func TestNewRequiresProberOrCache(t *testing.T) {
 		t.Fatal("nil prober without a shared cache accepted")
 	}
 }
+
+// TestSurfaceCacheServerLoad is the serving-shaped contract behind
+// internal/alloc: the raw cache hammered by many goroutines — a thundering
+// herd on a cold surface, then mixed hot/cold probes with concurrent
+// lock-free readers — must return exact values, stay race-clean, and
+// singleflight every cold point (one simulator call per unique
+// (surface, configuration), no matter how many goroutines want it).
+func TestSurfaceCacheServerLoad(t *testing.T) {
+	fp := &atomicProber{}
+	cache, err := NewSurfaceCache(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Thundering herd: every goroutine sweeps the SAME cold surface.
+	const herd = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, herd+3)
+	for g := 0; g < herd; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range tSlices {
+				for _, kb := range tCaches {
+					cfg := econ.Config{Slices: s, CacheKB: kb}
+					got, err := cache.Probe("cachey", WholeProgram, cfg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if want := benchPerf["cachey"](cfg); got != want {
+						errs <- fmt.Errorf("herd %v: got %v want %v", cfg, got, want)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	lattice := int64(len(tSlices) * len(tCaches))
+	if cache.Misses() != lattice {
+		t.Fatalf("herd misses %d, want exactly one sweep %d", cache.Misses(), lattice)
+	}
+
+	// Mixed load: cold sweeps of other surfaces racing warm re-probes and
+	// lock-free Known readers.
+	for _, bench := range []string{"slicey", "mixed", "cachey"} {
+		wg.Add(1)
+		go func(bench string) {
+			defer wg.Done()
+			for _, s := range tSlices {
+				for _, kb := range tCaches {
+					cfg := econ.Config{Slices: s, CacheKB: kb}
+					got, err := cache.Probe(bench, WholeProgram, cfg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if want := benchPerf[bench](cfg); got != want {
+						errs <- fmt.Errorf("%s %v: got %v want %v", bench, cfg, got, want)
+						return
+					}
+					if v, ok := cache.Known(bench, WholeProgram, cfg); !ok || v != got {
+						errs <- fmt.Errorf("%s %v: Known=(%v,%v) after Probe=%v", bench, cfg, v, ok, got)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(bench)
+	}
+	wg.Wait()
+	close(errs)
+	//ssim:nolint barrierorder: any collected error fails the test; arrival order is irrelevant
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if cache.Misses() != int64(cache.Unique()) {
+		t.Errorf("misses %d != unique %d: singleflight let a point probe twice", cache.Misses(), cache.Unique())
+	}
+	if got := fp.calls.Load(); got != cache.Misses() {
+		t.Errorf("prober calls %d != cache misses %d", got, cache.Misses())
+	}
+	if got, want := cache.NumSurfaces(), 3; got != want {
+		t.Errorf("surfaces = %d, want %d", got, want)
+	}
+}
